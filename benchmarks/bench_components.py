@@ -1,0 +1,92 @@
+"""Component micro-benchmarks (performance tracking, not a paper artifact).
+
+Times the hot substrate components in isolation: the data cache, the
+McFarling predictor, web construction, graph-colouring allocation, and
+trace generation.  Regressions here show up as slow experiment turnaround.
+"""
+
+import random
+
+from repro.compiler.interference import InterferenceGraph
+from repro.compiler.pipeline import compile_program
+from repro.compiler.webs import build_live_ranges, designate_global_candidates
+from repro.core.registers import RegisterAssignment
+from repro.uarch.branch_predictor import McFarlingPredictor
+from repro.uarch.caches import Cache
+from repro.uarch.config import CacheConfig, PredictorConfig
+from repro.workloads.spec92 import build_compress
+from repro.workloads.tracegen import TraceGenerator
+
+
+def test_cache_access_throughput(benchmark):
+    cache = Cache(CacheConfig(), 16)
+    rng = random.Random(1)
+    addresses = [rng.randrange(0, 1 << 22) & ~0x7 for _ in range(20_000)]
+
+    def run():
+        for t, a in enumerate(addresses):
+            cache.access(a, t)
+        return cache.stats.accesses
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_predictor_throughput(benchmark):
+    predictor = McFarlingPredictor(PredictorConfig())
+    rng = random.Random(2)
+    branches = [(rng.randrange(0, 1 << 16) << 2, rng.random() < 0.7) for _ in range(20_000)]
+
+    def run():
+        for tag, (pc, taken) in enumerate(branches):
+            predictor.predict(pc, taken, tag)
+            predictor.resolve(tag)
+        return predictor.stats.predictions
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_web_construction_on_gcc_sized_program(benchmark):
+    workload = build_compress()
+    program = workload.program
+
+    def run():
+        lrs = build_live_ranges(program)
+        designate_global_candidates(lrs)
+        return len(lrs)
+
+    benchmark(run)
+
+
+def test_interference_graph_build(benchmark):
+    workload = build_compress()
+    program = workload.program
+    lrs = build_live_ranges(program)
+
+    def run():
+        return InterferenceGraph.build(program, lrs).edge_count()
+
+    benchmark(run)
+
+
+def test_full_compile_native(benchmark):
+    workload = build_compress()
+
+    def run():
+        return compile_program(
+            workload.program, RegisterAssignment.single_cluster()
+        ).machine.instruction_count()
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_trace_generation_throughput(benchmark):
+    workload = build_compress()
+    compiled = compile_program(workload.program, RegisterAssignment.single_cluster())
+    generator = TraceGenerator(
+        compiled.machine, workload.streams, workload.behaviors, seed=1
+    )
+
+    def run():
+        return len(generator.generate(30_000))
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,65 @@
+"""Experiment E9 — the Section 4.2/5 cycle-time analysis.
+
+Regenerates the paper's closing argument: the delay-model anchors (+18% at
+0.35um, +82% at 0.18um for 4->8 issue), the 20% break-even for a 25%
+slowdown, and the per-benchmark net run-time outcome at both feature
+sizes.
+"""
+
+import pytest
+
+from repro.experiments.cycle_time import (
+    format_cycle_time_analysis,
+    run_cycle_time_analysis,
+)
+from repro.experiments.harness import EvaluationOptions
+from repro.experiments.table2 import run_table2
+from repro.timing.analysis import break_even_clock_reduction, format_cycle_time_report
+from repro.timing.palacharla import (
+    MachineShape,
+    TECH_018,
+    TECH_035,
+    calibrated_technologies,
+    width_penalty,
+)
+
+from conftest import BENCH_TRACE_LENGTH
+
+
+def test_delay_model_anchors(benchmark):
+    """Calibration reproduces the published 18%/82% width penalties."""
+
+    def run():
+        techs = calibrated_technologies()
+        return {name: width_penalty(t) for name, t in techs.items()}
+
+    penalties = benchmark(run)
+    assert penalties["0.35um"] == pytest.approx(0.18, abs=0.01)
+    assert penalties["0.18um"] == pytest.approx(0.82, abs=0.01)
+
+
+def test_break_even_worked_example(benchmark):
+    """Section 4.2: 25% slowdown <-> 20% clock reduction."""
+    value = benchmark(lambda: break_even_clock_reduction(25.0))
+    assert value == pytest.approx(20.0)
+    print("\n" + format_cycle_time_report())
+
+
+def test_net_performance_analysis(benchmark):
+    """The paper's conclusion: no net win at 0.35um, clear win at 0.18um."""
+
+    def run():
+        table2 = run_table2(
+            ["compress", "ora", "tomcatv"],
+            EvaluationOptions(trace_length=BENCH_TRACE_LENGTH // 3),
+        )
+        return run_cycle_time_analysis(table2)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_cycle_time_analysis(report))
+    assert report.wins_at_018 >= report.wins_at_035
+    # At 0.18um the multicluster machine wins on most benchmarks.
+    assert report.wins_at_018 >= 2
+    # Every benchmark gains more (or loses less) at 0.18um than 0.35um.
+    for row in report.rows:
+        assert row.net_018 > row.net_035

@@ -1,0 +1,52 @@
+"""Experiment E8 — Figure 6: the local scheduler's worked example.
+
+Regenerates the paper's block-traversal and live-range-assignment orders
+and times the local scheduler on the Figure 6 CFG and on a larger
+generated program (partitioner throughput).
+"""
+
+from repro.compiler.webs import build_live_ranges, designate_global_candidates
+from repro.core.partition.local import LocalScheduler
+from repro.experiments.figure6 import (
+    PAPER_ASSIGNMENT_ORDER,
+    PAPER_BLOCK_ORDER,
+    build_figure6_program,
+    run_figure6,
+)
+from repro.workloads.spec92 import build_gcc1
+
+
+def test_figure6_orders(benchmark):
+    result = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    print(f"\nblocks: {result.block_order}")
+    print(f"ranges: {result.assignment_order}")
+    assert result.block_order == PAPER_BLOCK_ORDER
+    assert result.assignment_order == PAPER_ASSIGNMENT_ORDER
+    assert result.matches_paper
+
+
+def test_local_scheduler_throughput_small(benchmark):
+    """Partitioning the Figure 6 program (latency tracking)."""
+    program = build_figure6_program()
+    lrs = build_live_ranges(program)
+    designate_global_candidates(lrs)
+
+    def run():
+        return LocalScheduler().partition(program, lrs)
+
+    partition = benchmark(run)
+    assert len(partition) == len(PAPER_ASSIGNMENT_ORDER)
+
+
+def test_local_scheduler_throughput_large(benchmark):
+    """Partitioning a gcc-sized program (~1600 static instructions)."""
+    workload = build_gcc1()
+    program = workload.program
+    lrs = build_live_ranges(program)
+    designate_global_candidates(lrs)
+
+    def run():
+        return LocalScheduler().partition(program, lrs)
+
+    partition = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert partition

@@ -1,0 +1,61 @@
+"""Experiment E10 — the 4-way companion evaluation plus design ablations.
+
+Section 4 of the paper: "the evaluation was done for both four-way and
+eight-way issue processors" (only the 8-way numbers are printed).  This
+bench regenerates the 4-way comparison and the DESIGN.md §6 ablations:
+transfer-buffer depth and the imbalance threshold.
+"""
+
+from repro.experiments.ablations import (
+    run_buffer_depth_ablation,
+    run_issue_width_ablation,
+    run_threshold_ablation,
+)
+from repro.workloads.spec92 import build_compress, build_su2cor
+
+from conftest import BENCH_TRACE_LENGTH
+
+TRACE = BENCH_TRACE_LENGTH // 2
+
+
+def test_issue_width_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_issue_width_ablation(build_su2cor, trace_length=TRACE),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format())
+    assert [p.label for p in result.points] == ["8-way vs 2x4-way", "4-way vs 2x2-way"]
+    # Both machine pairs run to completion and produce finite ratios.
+    for point in result.points:
+        assert -100 < point.pct_none < 100
+        assert -100 < point.pct_local < 100
+
+
+def test_buffer_depth_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_buffer_depth_ablation(
+            build_compress, depths=(2, 8, 32), trace_length=TRACE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format())
+    shallow, paper, deep = result.points
+    # Deeper buffers never hurt; very shallow buffers never help.
+    assert deep.pct_local >= shallow.pct_local - 1.0
+    assert deep.replays <= shallow.replays
+
+
+def test_imbalance_threshold_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_threshold_ablation(
+            build_compress, thresholds=(0, 2, 16), trace_length=TRACE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format())
+    # Threshold changes move the dual-distribution rate.
+    fractions = {p.label: p.dual_fraction for p in result.points}
+    assert fractions["threshold=16"] <= fractions["threshold=0"] + 0.02

@@ -1,0 +1,52 @@
+"""Experiments E4-E7 — Figures 2-5: the dual-execution scenario timelines.
+
+Each benchmark regenerates one figure's execution timeline and asserts the
+protocol orderings the figure depicts.
+"""
+
+from repro.core.distribution import Scenario
+from repro.experiments.scenarios import SCENARIOS, format_timeline, run_scenario
+
+
+def test_figure2_operand_forward(benchmark):
+    timeline = benchmark.pedantic(lambda: run_scenario(2), rounds=1, iterations=1)
+    print("\n" + format_timeline(timeline))
+    assert timeline.plan_scenario is Scenario.DUAL_OPERAND
+    assert timeline.issue_cycle("slave") < timeline.issue_cycle("master")
+    assert timeline.issue_cycle("master") == timeline.issue_cycle("slave") + 1
+
+
+def test_figure3_result_forward(benchmark):
+    timeline = benchmark.pedantic(lambda: run_scenario(3), rounds=1, iterations=1)
+    print("\n" + format_timeline(timeline))
+    assert timeline.plan_scenario is Scenario.DUAL_RESULT
+    assert timeline.issue_cycle("slave") == timeline.issue_cycle("master") + 1
+
+
+def test_figure4_global_destination(benchmark):
+    timeline = benchmark.pedantic(lambda: run_scenario(4), rounds=1, iterations=1)
+    print("\n" + format_timeline(timeline))
+    assert timeline.plan_scenario is Scenario.DUAL_GLOBAL
+    assert timeline.completion_cycle("slave") >= timeline.completion_cycle("master")
+
+
+def test_figure5_operand_and_global(benchmark):
+    timeline = benchmark.pedantic(lambda: run_scenario(5), rounds=1, iterations=1)
+    print("\n" + format_timeline(timeline))
+    assert timeline.plan_scenario is Scenario.DUAL_OPERAND_GLOBAL
+    slave_issues = [c for c, r, _cl in timeline.issues if r == "slave"]
+    assert len(slave_issues) == 2  # operand phase + result phase
+
+
+def test_all_scenarios_sweep(benchmark):
+    def run():
+        return [run_scenario(n) for n in sorted(SCENARIOS)]
+
+    timelines = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert [t.plan_scenario for t in timelines] == [
+        Scenario.SINGLE,
+        Scenario.DUAL_OPERAND,
+        Scenario.DUAL_RESULT,
+        Scenario.DUAL_GLOBAL,
+        Scenario.DUAL_OPERAND_GLOBAL,
+    ]

@@ -1,0 +1,124 @@
+"""Experiment E1 — Table 1: the machine configurations.
+
+Table 1 is configuration, not results; this bench drives micro-workloads
+that make each configured limit *observable* in cycle counts — issue
+widths, per-class limits, functional-unit latencies, and the unpipelined
+divider — and times the simulator on them.
+"""
+
+from repro.isa.instructions import MachineInstruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import fp_reg, int_reg
+from repro.ir.machine_program import MachineProgram
+from repro.uarch.config import (
+    default_assignment_for,
+    dual_cluster_config,
+    single_cluster_config,
+)
+from repro.uarch.processor import Processor
+from repro.workloads.trace import DynamicInstruction
+
+
+def _loop_trace(instructions, repetitions):
+    machine = MachineProgram("t1")
+    block = machine.add_block("b0")
+    for instr in instructions:
+        block.add(instr)
+    machine.assign_pcs()
+    pairs = list(machine.all_instructions())
+    trace = []
+    for _ in range(repetitions):
+        for instr, meta in pairs:
+            address = 0x9000 if instr.opcode.is_memory else None
+            trace.append(DynamicInstruction(instr, meta, len(trace), address))
+    return trace
+
+
+def _run(trace, config):
+    return Processor(config, default_assignment_for(config)).run(trace)
+
+
+def _steady_cycles_per_group(instructions, config, repetitions=400):
+    result = _run(_loop_trace(instructions, repetitions), config)
+    return result.cycles / repetitions
+
+
+def test_integer_issue_width_single_vs_cluster(benchmark):
+    """8 independent adds: 1 issue group at 8-wide, 2 at 4-wide."""
+    adds = [
+        MachineInstruction(Opcode.ADDQ, dest=int_reg(2 * i), srcs=(int_reg(28), int_reg(28)))
+        for i in range(8)
+    ]
+
+    def run():
+        single = _steady_cycles_per_group(adds, single_cluster_config())
+        # All even destinations: everything lands on cluster 0 of the dual
+        # machine, exposing the per-cluster width of 4.
+        dual = _steady_cycles_per_group(adds, dual_cluster_config())
+        return single, dual
+
+    single, dual = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 0.9 < single <= 1.6
+    assert dual >= 2 * single * 0.8
+
+
+def test_fp_issue_limit(benchmark):
+    """Table 1: at most 4 FP per cycle on the 8-way machine."""
+    fps = [
+        MachineInstruction(Opcode.ADDT, dest=fp_reg(2 * i), srcs=(fp_reg(28), fp_reg(28)))
+        for i in range(8)
+    ]
+
+    def run():
+        return _steady_cycles_per_group(fps, single_cluster_config())
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cycles >= 1.9  # needs two issue groups
+
+
+def test_functional_unit_latencies(benchmark):
+    """Chained ops are spaced by their Table 1 latencies."""
+    def run():
+        chain_mul = [
+            MachineInstruction(Opcode.MULQ, dest=int_reg(0), srcs=(int_reg(0), int_reg(0)))
+        ]
+        chain_fp = [
+            MachineInstruction(Opcode.ADDT, dest=fp_reg(0), srcs=(fp_reg(0), fp_reg(0)))
+        ]
+        mul = _steady_cycles_per_group(chain_mul, single_cluster_config())
+        fp = _steady_cycles_per_group(chain_fp, single_cluster_config())
+        return mul, fp
+
+    mul, fp = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 5.9 < mul < 6.5   # integer multiply: 6
+    assert 2.9 < fp < 3.5    # FP other: 3
+
+
+def test_unpipelined_divider(benchmark):
+    """Back-to-back independent divides serialize on the divider."""
+    divs = [
+        MachineInstruction(Opcode.DIVS, dest=fp_reg(2 * i), srcs=(fp_reg(28), fp_reg(28)))
+        for i in range(2)
+    ]
+
+    def run():
+        # Dual cluster has one divider per cluster; both divides land on
+        # cluster 0 (even destinations).
+        return _steady_cycles_per_group(divs, dual_cluster_config(), repetitions=100)
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cycles >= 15  # two 8-cycle divides through one divider
+
+
+def test_simulator_throughput(benchmark):
+    """Raw simulation speed on a simple integer stream (tracking metric)."""
+    adds = [
+        MachineInstruction(Opcode.ADDQ, dest=int_reg(2 * (i % 12)), srcs=(int_reg(28), int_reg(28)))
+        for i in range(12)
+    ]
+    trace = _loop_trace(adds, 500)
+
+    def run():
+        return _run(trace, single_cluster_config()).cycles
+
+    benchmark(run)

@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one paper artifact (see DESIGN.md §5
+for the experiment index).  Benchmarks use reduced trace lengths so the
+whole suite completes in minutes; the ``repro.experiments`` modules expose
+the same harnesses with the full-size defaults.
+"""
+
+import pytest
+
+#: Trace length used by benchmark-scale simulations.
+BENCH_TRACE_LENGTH = 15_000
+
+
+@pytest.fixture(scope="session")
+def bench_trace_length():
+    return BENCH_TRACE_LENGTH

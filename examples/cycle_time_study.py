@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The Section 4.2 / Section 5 cycle-time study.
+
+Combines simulated cycle counts with the calibrated Palacharla-style delay
+model to answer the paper's closing question: does the clock-period
+advantage of 4-wide clusters pay for the cycle-count cost of clustering?
+
+Run:  python examples/cycle_time_study.py [trace_length]
+"""
+
+import sys
+
+from repro.experiments.cycle_time import (
+    format_cycle_time_analysis,
+    run_cycle_time_analysis,
+)
+from repro.experiments.harness import EvaluationOptions
+from repro.experiments.table2 import run_table2
+from repro.timing.analysis import format_cycle_time_report
+from repro.timing.palacharla import MachineShape, TECHNOLOGIES, delay_breakdown
+
+
+def main() -> None:
+    trace_length = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+
+    print("1. The delay model (calibrated to Palacharla et al.'s anchors)")
+    print("-" * 64)
+    print(format_cycle_time_report())
+    print()
+
+    print("2. Where the cycle time goes (per-structure breakdown, ps)")
+    print("-" * 64)
+    for name in ("0.35um", "0.18um"):
+        tech = TECHNOLOGIES[name]
+        for shape, label in (
+            (MachineShape.four_issue(), "4-issue"),
+            (MachineShape.eight_issue(), "8-issue"),
+        ):
+            b = delay_breakdown(shape, tech)
+            print(
+                f"  {name} {label}: rename {b.rename:6.0f}  window {b.window:6.0f}  "
+                f"regfile {b.regfile:6.0f}  bypass {b.bypass:6.0f}  "
+                f"-> clock {b.cycle_time:6.0f} ({b.critical_structure})"
+            )
+    print()
+
+    print(f"3. Net run time on the SPEC92 stand-ins ({trace_length}-instruction traces)")
+    print("-" * 64)
+    table2 = run_table2(options=EvaluationOptions(trace_length=trace_length))
+    report = run_cycle_time_analysis(table2)
+    print(format_cycle_time_analysis(report))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Hand-written kernels and the dynamic-reassignment extension.
+
+Part 1 races four classic kernels (daxpy, dot product, string hash,
+pointer chasing) across the machines, showing how ILP shape decides the
+clustering penalty — the mechanism behind the ordering of the paper's
+Table 2.
+
+Part 2 demonstrates the Section 6 dynamic register reassignment: a
+two-phase program whose phases favour different register-to-cluster maps
+beats both static maps by switching at the phase boundary.
+
+Run:  python examples/kernels_and_reassignment.py
+"""
+
+from repro.experiments.harness import EvaluationOptions, evaluate_workload
+from repro.experiments.reassignment import (
+    format_reassignment_result,
+    run_reassignment_demo,
+)
+from repro.workloads.kernels import KERNELS
+
+
+def main() -> None:
+    print("Part 1: kernels across the machines (10k-instruction traces)")
+    print("-" * 68)
+    print(f"{'kernel':<10} {'1-clu IPC':>9} {'none %':>8} {'local %':>8} {'dual% n->l':>12}")
+    for name in sorted(KERNELS):
+        workload = KERNELS[name]()
+        ev = evaluate_workload(workload, EvaluationOptions(trace_length=10_000))
+        print(
+            f"{name:<10} {ev.single.stats.ipc:>9.2f} {ev.pct_none:>+8.1f} "
+            f"{ev.pct_local:>+8.1f} "
+            f"{100 * ev.dual_none.stats.dual_fraction:>5.1f}->"
+            f"{100 * ev.dual_local.stats.dual_fraction:<5.1f}"
+        )
+    print()
+    print("Reading: high-ILP streaming (daxpy) pays the most for clustering;")
+    print("serial chains (dot, strhash) and memory-bound walks barely notice.")
+    print()
+
+    print("Part 2: dynamic register reassignment (Section 6)")
+    print("-" * 68)
+    print(format_reassignment_result(run_reassignment_demo()))
+
+
+if __name__ == "__main__":
+    main()

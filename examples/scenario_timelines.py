@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""The five execution scenarios of Section 2.1 (Figures 2-5), live.
+
+For each scenario the script builds the minimal program, runs it on the
+dual-cluster machine with event logging, and prints the master/slave
+timeline — the reproduction of the paper's timing figures.
+
+Run:  python examples/scenario_timelines.py
+"""
+
+from repro.experiments.scenarios import format_timeline, run_all_scenarios
+
+
+def main() -> None:
+    print("Dual-execution scenarios (Section 2.1; Figures 2-5)")
+    print("=" * 60)
+    for timeline in run_all_scenarios():
+        print()
+        print(format_timeline(timeline))
+    print()
+    print("Protocol summary (as in the paper):")
+    print(" - scenario 2: slave issues first, master one cycle later")
+    print(" - scenario 3: master first, slave receives the result")
+    print(" - scenario 4: like 3, but both register files are written")
+    print(" - scenario 5: slave issues twice (operand phase, then result)")
+
+
+if __name__ == "__main__":
+    main()

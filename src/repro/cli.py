@@ -1,0 +1,164 @@
+"""Command-line interface for the reproduction's experiments.
+
+Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+
+    python -m repro table2 [--trace-length N] [--benchmarks a b ...]
+    python -m repro scenarios
+    python -m repro figure6
+    python -m repro cycle-time [--trace-length N]
+    python -m repro ablations [--benchmark NAME] [--trace-length N]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from repro.experiments.harness import EvaluationOptions
+    from repro.experiments.table2 import format_table2, run_table2
+
+    result = run_table2(
+        args.benchmarks or None, EvaluationOptions(trace_length=args.trace_length)
+    )
+    print(format_table2(result, detailed=args.detailed))
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> None:
+    from repro.experiments.scenarios import format_timeline, run_all_scenarios
+
+    for timeline in run_all_scenarios():
+        print(format_timeline(timeline))
+        print()
+
+
+def _cmd_figure6(_args: argparse.Namespace) -> None:
+    from repro.experiments.figure6 import main as figure6_main
+
+    figure6_main()
+
+
+def _cmd_cycle_time(args: argparse.Namespace) -> None:
+    from repro.experiments.cycle_time import (
+        format_cycle_time_analysis,
+        run_cycle_time_analysis,
+    )
+    from repro.experiments.harness import EvaluationOptions
+    from repro.experiments.table2 import run_table2
+    from repro.timing.analysis import format_cycle_time_report
+
+    print(format_cycle_time_report())
+    print()
+    table2 = run_table2(
+        args.benchmarks or None, EvaluationOptions(trace_length=args.trace_length)
+    )
+    print(format_cycle_time_analysis(run_cycle_time_analysis(table2)))
+
+
+def _cmd_ablations(args: argparse.Namespace) -> None:
+    from repro.experiments.ablations import (
+        run_assignment_ablation,
+        run_buffer_depth_ablation,
+        run_global_widening_ablation,
+        run_imbalance_scope_ablation,
+        run_partitioner_ablation,
+        run_queue_size_ablation,
+        run_threshold_ablation,
+        run_unroll_ablation,
+    )
+    from repro.workloads.spec92 import SPEC92
+
+    build = SPEC92[args.benchmark]
+    sweeps = {
+        "threshold": run_threshold_ablation,
+        "buffers": run_buffer_depth_ablation,
+        "partitioner": run_partitioner_ablation,
+        "assignment": run_assignment_ablation,
+        "unroll": run_unroll_ablation,
+        "globals": run_global_widening_ablation,
+        "queue": run_queue_size_ablation,
+        "scope": run_imbalance_scope_ablation,
+    }
+    selected = args.sweeps or list(sweeps)
+    for name in selected:
+        result = sweeps[name](build, trace_length=args.trace_length)
+        print(result.format())
+        print()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multicluster Architecture reproduction (MICRO-30 1997)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t2 = sub.add_parser("table2", help="regenerate Table 2")
+    t2.add_argument("--trace-length", type=int, default=120_000)
+    t2.add_argument("--benchmarks", nargs="*", default=None)
+    t2.add_argument("--detailed", action="store_true", default=True)
+    t2.set_defaults(func=_cmd_table2)
+
+    sc = sub.add_parser("scenarios", help="Figures 2-5 execution timelines")
+    sc.set_defaults(func=_cmd_scenarios)
+
+    f6 = sub.add_parser("figure6", help="the Figure 6 worked example")
+    f6.set_defaults(func=_cmd_figure6)
+
+    ct = sub.add_parser("cycle-time", help="the Section 4.2/5 analysis")
+    ct.add_argument("--trace-length", type=int, default=40_000)
+    ct.add_argument("--benchmarks", nargs="*", default=None)
+    ct.set_defaults(func=_cmd_cycle_time)
+
+    ab = sub.add_parser("ablations", help="design-choice sweeps")
+    ab.add_argument("--benchmark", default="compress")
+    ab.add_argument("--trace-length", type=int, default=20_000)
+    ab.add_argument(
+        "--sweeps",
+        nargs="*",
+        choices=[
+            "threshold", "buffers", "partitioner", "assignment",
+            "unroll", "globals", "queue", "scope",
+        ],
+        default=None,
+    )
+    ab.set_defaults(func=_cmd_ablations)
+
+    rp = sub.add_parser("report", help="regenerate everything into REPORT.md")
+    rp.add_argument("--trace-length", type=int, default=40_000)
+    rp.add_argument("--output", default="REPORT.md")
+    rp.set_defaults(func=_cmd_report)
+
+    ra = sub.add_parser(
+        "reassignment", help="dynamic register reassignment demo (Section 6)"
+    )
+    ra.add_argument("--phase-length", type=int, default=2000)
+    ra.set_defaults(func=_cmd_reassignment)
+    return parser
+
+
+def _cmd_reassignment(args: argparse.Namespace) -> None:
+    from repro.experiments.reassignment import (
+        format_reassignment_result,
+        run_reassignment_demo,
+    )
+
+    print(format_reassignment_result(run_reassignment_demo(args.phase_length)))
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.experiments.report import write_report
+
+    report = write_report(args.output, trace_length=args.trace_length)
+    print(f"wrote {args.output} ({len(report.markdown)} bytes)")
+    print(f"figure 6 matches paper: {report.figure6.matches_paper}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

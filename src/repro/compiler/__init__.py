@@ -1,0 +1,58 @@
+"""The compiler substrate: the six-step methodology of Section 3.1."""
+
+from repro.compiler.interference import InterferenceGraph
+from repro.compiler.liveness import LivenessInfo
+from repro.compiler.lowering import LoweringError, lower_program
+from repro.compiler.passes import optimize_program
+from repro.compiler.pipeline import (
+    CompilationResult,
+    CompilerOptions,
+    compile_program,
+    make_pool_resolver,
+)
+from repro.compiler.profiling import profile_analytically, profile_by_walk
+from repro.compiler.regalloc import (
+    AllocationError,
+    AllocationResult,
+    Pool,
+    allocate_registers,
+    color_graph,
+)
+from repro.compiler.scheduling import (
+    schedule_block,
+    schedule_machine_program,
+    schedule_program,
+)
+from repro.compiler.spill import SPILL_STREAM_PREFIX, SpillContext
+from repro.compiler.webs import (
+    build_live_ranges,
+    compute_spill_weights,
+    designate_global_candidates,
+)
+
+__all__ = [
+    "InterferenceGraph",
+    "LivenessInfo",
+    "LoweringError",
+    "lower_program",
+    "optimize_program",
+    "CompilationResult",
+    "CompilerOptions",
+    "compile_program",
+    "make_pool_resolver",
+    "profile_analytically",
+    "profile_by_walk",
+    "AllocationError",
+    "AllocationResult",
+    "Pool",
+    "allocate_registers",
+    "color_graph",
+    "schedule_block",
+    "schedule_machine_program",
+    "schedule_program",
+    "SPILL_STREAM_PREFIX",
+    "SpillContext",
+    "build_live_ranges",
+    "compute_spill_weights",
+    "designate_global_candidates",
+]

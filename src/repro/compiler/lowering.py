@@ -1,0 +1,70 @@
+"""Lowering: IL program + register allocation -> machine program.
+
+IL instructions map one-to-one onto machine instructions; lowering simply
+substitutes the architectural register chosen for each operand's live range
+and copies the trace-generation annotations into the machine instruction's
+sidecar metadata.  Must run on the exact program state the allocator
+finished with (the allocation's maps are keyed by instruction uid).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import MachineInstruction
+from repro.isa.registers import Register
+from repro.ir.machine_program import MachineInstrMeta, MachineProgram
+from repro.ir.program import ILProgram
+from repro.compiler.regalloc import AllocationResult
+from repro.compiler.spill import SPILL_STREAM_PREFIX
+
+
+class LoweringError(Exception):
+    """An operand had no allocated register (internal invariant violation)."""
+
+
+def lower_program(program: ILProgram, allocation: AllocationResult) -> MachineProgram:
+    """Produce the machine program for ``program`` under ``allocation``."""
+    lrs = allocation.lrs
+    machine = MachineProgram(program.name)
+    for block in program.cfg.blocks():
+        mblock = machine.add_block(block.label)
+        mblock.succ_labels = list(block.succ_labels)
+        mblock.edge_probs = dict(block.edge_probs)
+        mblock.profile_count = block.profile_count
+        for instr in block.instructions:
+            srcs: list[Register] = []
+            for src in instr.srcs:
+                lr = lrs.use_map.get((instr.uid, src))
+                if lr is None:
+                    raise LoweringError(f"no live range for use of {src} at {instr!r}")
+                reg = allocation.coloring.get(lr.lrid)
+                if reg is None:
+                    raise LoweringError(f"no register for {lr!r} at {instr!r}")
+                srcs.append(reg)
+            dest = None
+            if instr.dest is not None:
+                lr = lrs.def_map.get((instr.uid, instr.dest))
+                if lr is None:
+                    raise LoweringError(f"no live range for def of {instr.dest} at {instr!r}")
+                dest = allocation.coloring.get(lr.lrid)
+                if dest is None:
+                    raise LoweringError(f"no register for {lr!r} at {instr!r}")
+            mblock.add(
+                MachineInstruction(
+                    opcode=instr.opcode,
+                    dest=dest,
+                    srcs=tuple(srcs),
+                    imm=instr.imm,
+                    target=instr.target,
+                ),
+                MachineInstrMeta(
+                    il_uid=instr.uid,
+                    mem_stream=instr.mem_stream,
+                    branch_model=instr.branch_model,
+                    is_spill=bool(
+                        instr.mem_stream
+                        and instr.mem_stream.startswith(SPILL_STREAM_PREFIX)
+                    ),
+                ),
+            )
+    machine.assign_pcs()
+    return machine

@@ -1,0 +1,54 @@
+"""Conventional optimization passes (step 1 of Section 3.1's methodology).
+
+"The application is compiled into an intermediate language (IL) to which
+are applied conventional optimizations like common subexpression
+elimination and constant propagation."  The paper deliberately uses
+existing techniques unmodified (Section 3.2); these passes are standard
+local optimizations.
+"""
+
+from repro.compiler.passes.constprop import run_constant_propagation
+from repro.compiler.passes.copyprop import run_copy_propagation
+from repro.compiler.passes.cse import run_cse
+from repro.compiler.passes.dce import run_dce
+from repro.compiler.passes.unroll import (
+    find_self_loops,
+    unroll_program,
+    unroll_self_loop,
+)
+
+from repro.ir.program import ILProgram
+
+__all__ = [
+    "run_constant_propagation",
+    "run_copy_propagation",
+    "run_cse",
+    "run_dce",
+    "optimize_program",
+    "find_self_loops",
+    "unroll_program",
+    "unroll_self_loop",
+]
+
+
+def optimize_program(program: ILProgram, max_rounds: int = 4) -> dict[str, int]:
+    """Run the conventional optimization pipeline to a fixpoint.
+
+    Returns per-pass transformation counts (useful for tests and reports).
+    """
+    totals = {"constprop": 0, "copyprop": 0, "cse": 0, "dce": 0}
+    for _ in range(max_rounds):
+        changed = 0
+        for name, runner in (
+            ("constprop", run_constant_propagation),
+            ("copyprop", run_copy_propagation),
+            ("cse", run_cse),
+            ("dce", run_dce),
+        ):
+            count = runner(program)
+            totals[name] += count
+            changed += count
+        if changed == 0:
+            break
+    program.renumber()
+    return totals

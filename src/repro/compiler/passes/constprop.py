@@ -1,0 +1,71 @@
+"""Local constant propagation and folding.
+
+``lda`` with no register sources materializes a constant; when every
+source of a foldable integer operation is a known constant the operation is
+replaced by an ``lda`` of the folded value.  Tracking is per block (values
+entering a block are treated as unknown).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.isa.opcodes import Opcode
+from repro.ir.program import ILProgram
+from repro.ir.values import ILValue
+
+_FOLDERS: dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADDQ: lambda a, b: a + b,
+    Opcode.SUBQ: lambda a, b: a - b,
+    Opcode.MULQ: lambda a, b: a * b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.BIS: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SLL: lambda a, b: a << (b & 63),
+    Opcode.SRL: lambda a, b: (a & (2**64 - 1)) >> (b & 63),
+    Opcode.CMPEQ: lambda a, b: int(a == b),
+    Opcode.CMPLT: lambda a, b: int(a < b),
+    Opcode.CMPLE: lambda a, b: int(a <= b),
+}
+
+
+def run_constant_propagation(program: ILProgram) -> int:
+    """Fold constant expressions in place; returns instructions folded."""
+    folded = 0
+    for block in program.cfg.blocks():
+        constants: dict[ILValue, int] = {}
+        for idx, instr in enumerate(block.instructions):
+            value = _evaluate(instr, constants)
+            if instr.dest is not None:
+                if value is not None:
+                    if instr.opcode is not Opcode.LDA or instr.srcs:
+                        block.instructions[idx] = instr.replace(
+                            opcode=Opcode.LDA, srcs=()
+                        )
+                        block.instructions[idx].imm = value
+                        folded += 1
+                    constants[instr.dest] = value
+                else:
+                    constants.pop(instr.dest, None)
+    if folded:
+        program.renumber()
+    return folded
+
+
+def _evaluate(instr, constants: dict[ILValue, int]) -> Optional[int]:
+    if instr.opcode is Opcode.LDA and not instr.srcs:
+        return instr.imm if instr.imm is not None else 0
+    folder = _FOLDERS.get(instr.opcode)
+    if folder is None or instr.dest is None:
+        return None
+    operands: list[int] = []
+    for src in instr.srcs:
+        known = constants.get(src)
+        if known is None:
+            return None
+        operands.append(known)
+    if instr.imm is not None:
+        operands.append(instr.imm)
+    if len(operands) != 2:
+        return None
+    return folder(operands[0], operands[1])

@@ -1,0 +1,40 @@
+"""Local copy propagation.
+
+Within each basic block, a move ``y = x`` (``bis``/``cpys`` with a single
+source) makes later uses of ``y`` replaceable by ``x`` until either value
+is redefined.  Dead moves are left for DCE to collect.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Opcode
+from repro.ir.program import ILProgram
+from repro.ir.values import ILValue
+
+_MOVE_OPS = (Opcode.BIS, Opcode.CPYS)
+
+
+def run_copy_propagation(program: ILProgram) -> int:
+    """Propagate copies in place; returns number of operands rewritten."""
+    rewrites = 0
+    for block in program.cfg.blocks():
+        copy_of: dict[ILValue, ILValue] = {}
+        for idx, instr in enumerate(block.instructions):
+            if any(src in copy_of for src in instr.srcs):
+                new_srcs = tuple(copy_of.get(s, s) for s in instr.srcs)
+                rewrites += sum(1 for a, b in zip(instr.srcs, new_srcs) if a is not b)
+                block.instructions[idx] = instr.replace(srcs=new_srcs)
+                instr = block.instructions[idx]
+            if instr.dest is not None:
+                dest = instr.dest
+                # Any copy whose source or destination is redefined dies.
+                copy_of.pop(dest, None)
+                for key in [k for k, v in copy_of.items() if v is dest]:
+                    del copy_of[key]
+                if instr.opcode in _MOVE_OPS and len(instr.srcs) == 1 and instr.imm is None:
+                    src = instr.srcs[0]
+                    if src is not dest and src.rclass is dest.rclass:
+                        copy_of[dest] = copy_of.get(src, src)
+    if rewrites:
+        program.renumber()
+    return rewrites

@@ -1,0 +1,54 @@
+"""Local common-subexpression elimination.
+
+Within a basic block, a pure instruction recomputing an expression already
+available (same opcode, immediate, and the same *versions* of the same
+sources) is replaced by a register move from the earlier result.  Versions
+are tracked with a per-value definition counter so redefinitions correctly
+invalidate expressions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.isa.opcodes import Opcode
+from repro.ir.program import ILProgram
+
+#: Opcodes never considered for CSE even though they have destinations.
+_EXCLUDED = {Opcode.BIS, Opcode.CPYS}
+
+
+def run_cse(program: ILProgram) -> int:
+    """Eliminate local common subexpressions in place; returns count."""
+    eliminated = 0
+    for block in program.cfg.blocks():
+        version: dict[int, int] = defaultdict(int)
+        available: dict[tuple, object] = {}
+        for idx, instr in enumerate(block.instructions):
+            is_pure = (
+                instr.dest is not None
+                and not instr.opcode.is_memory
+                and not instr.opcode.is_control
+                and instr.opcode not in _EXCLUDED
+            )
+            if is_pure:
+                key = (
+                    instr.opcode,
+                    instr.imm,
+                    tuple((s.vid, version[s.vid]) for s in instr.srcs),
+                )
+                prior = available.get(key)
+                if prior is not None:
+                    move_op = Opcode.CPYS if instr.opcode.writes_fp else Opcode.BIS
+                    block.instructions[idx] = instr.replace(
+                        opcode=move_op, srcs=(prior,)
+                    )
+                    eliminated += 1
+                    instr = block.instructions[idx]
+                else:
+                    available[key] = instr.dest
+            if instr.dest is not None:
+                version[instr.dest.vid] += 1
+    if eliminated:
+        program.renumber()
+    return eliminated

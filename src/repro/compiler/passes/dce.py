@@ -1,0 +1,47 @@
+"""Dead-code elimination.
+
+Removes pure instructions (no memory or control side effects) whose result
+is never used: the destination has no later use in the block and is not
+live out of it.  Iterates to a fixpoint so chains of dead code disappear.
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import ILProgram
+from repro.compiler.liveness import LivenessInfo
+
+
+def run_dce(program: ILProgram) -> int:
+    """Run DCE on ``program`` in place; returns instructions removed."""
+    removed_total = 0
+    while True:
+        removed = _one_round(program)
+        removed_total += removed
+        if removed == 0:
+            return removed_total
+
+
+def _one_round(program: ILProgram) -> int:
+    liveness = LivenessInfo(program)
+    removed = 0
+    for block in program.cfg.blocks():
+        live = set(liveness.live_out(block.label))
+        keep = []
+        for instr in reversed(block.instructions):
+            is_pure = (
+                instr.dest is not None
+                and not instr.opcode.is_memory
+                and not instr.opcode.is_control
+            )
+            if is_pure and instr.dest not in live:
+                removed += 1
+                continue
+            keep.append(instr)
+            if instr.dest is not None:
+                live.discard(instr.dest)
+            live.update(instr.srcs)
+        keep.reverse()
+        block.instructions = keep
+    if removed:
+        program.renumber()
+    return removed

@@ -1,0 +1,254 @@
+"""Briggs-style graph-colouring register allocation (Section 3.4).
+
+The paper picks the Briggs et al. allocator because it "separates the
+process of colouring nodes from the process of spilling live ranges",
+which gives a natural place to implement the multicluster spill policy:
+*"spill a live range first to a local register in the other cluster and,
+if no register is available, then to memory."*
+
+This implementation keeps that structure:
+
+1. **Simplify** — repeatedly remove nodes whose *effective* degree (number
+   of neighbours whose register pools overlap) is below the size of their
+   own pool; when stuck, optimistically push the cheapest spill candidate
+   (lowest ``spill_weight / (1 + degree)``).
+2. **Select** — pop and colour.  A node that finds no colour in its own
+   pool first retries the *other cluster's* pool (the multicluster spill
+   policy), and only then is marked for a memory spill.
+3. **Spill & iterate** — memory spills rewrite the program
+   (:mod:`repro.compiler.spill`) and allocation restarts on fresh live
+   ranges.
+
+Register pools are supplied per live range, so the same allocator serves
+both the cluster-oblivious "native" compilation and the cluster-aware
+compilation driven by a partitioner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.isa.registers import Register
+from repro.ir.live_range import LiveRange, LiveRangeSet
+from repro.ir.program import ILProgram
+from repro.compiler.interference import InterferenceGraph
+from repro.compiler.spill import SpillContext, insert_spill_code
+from repro.compiler.webs import (
+    build_live_ranges,
+    compute_spill_weights,
+    designate_global_candidates,
+)
+
+
+class AllocationError(Exception):
+    """Raised when allocation cannot converge (pathological register pressure)."""
+
+
+@dataclass(frozen=True)
+class Pool:
+    """A named set of architectural registers a live range may use."""
+
+    name: str
+    registers: tuple[Register, ...]
+
+    def __len__(self) -> int:
+        return len(self.registers)
+
+
+#: Given a live range and its cluster (or None), return (pool, alternate pool).
+#: The alternate pool is the "other cluster" fallback; None disables it.
+PoolResolver = Callable[[LiveRange, Optional[int]], tuple[Pool, Optional[Pool]]]
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of register allocation.
+
+    Attributes:
+        coloring: lrid -> architectural register (for the final iteration's
+            live ranges).
+        lrs: the final iteration's live-range set (post spill rewriting).
+        cluster_of: lrid -> cluster for the final ranges (None = oblivious).
+        moved_ranges: names of ranges recoloured into the other cluster's
+            pool by the multicluster spill policy.
+        spills: cumulative spill book-keeping.
+        iterations: colouring iterations performed.
+    """
+
+    coloring: dict[int, Register]
+    lrs: LiveRangeSet
+    cluster_of: dict[int, Optional[int]]
+    moved_ranges: list[str] = field(default_factory=list)
+    spills: SpillContext = field(default_factory=SpillContext)
+    iterations: int = 1
+
+    def register_for(self, lr: LiveRange) -> Register:
+        return self.coloring[lr.lrid]
+
+
+def _pools_overlap_cache() -> Callable[[Pool, Pool], bool]:
+    cache: dict[tuple[str, str], bool] = {}
+
+    def overlap(a: Pool, b: Pool) -> bool:
+        key = (a.name, b.name) if a.name <= b.name else (b.name, a.name)
+        hit = cache.get(key)
+        if hit is None:
+            hit = bool(set(a.registers) & set(b.registers))
+            cache[key] = hit
+        return hit
+
+    return overlap
+
+
+def color_graph(
+    graph: InterferenceGraph,
+    pool_of: dict[int, Pool],
+    alt_pool_of: dict[int, Optional[Pool]],
+    spill_weight_of: dict[int, float],
+) -> tuple[dict[int, Register], list[int], list[int]]:
+    """One Briggs colouring pass.
+
+    Returns ``(coloring, memory_spill_lrids, moved_lrids)``.
+    """
+    overlap = _pools_overlap_cache()
+    nodes = sorted(graph.adjacency.keys())
+
+    # Effective degree: neighbours whose pools overlap ours compete for our
+    # registers.  Maintained incrementally so simplification is O(V + E).
+    eff_degree: dict[int, int] = {}
+    for n in nodes:
+        pn = pool_of[n]
+        eff_degree[n] = sum(1 for m in graph.adjacency[n] if overlap(pn, pool_of[m]))
+
+    stack: list[int] = []
+    remaining = set(nodes)
+    trivial = [n for n in nodes if eff_degree[n] < len(pool_of[n])]
+    trivial_set = set(trivial)
+    while remaining:
+        if trivial:
+            n = trivial.pop()
+            trivial_set.discard(n)
+            if n not in remaining:
+                continue
+        else:
+            # Optimistic push of the cheapest spill candidate.
+            n = min(
+                remaining,
+                key=lambda x: (
+                    spill_weight_of[x] / (1.0 + len(graph.adjacency[x])),
+                    x,
+                ),
+            )
+        remaining.discard(n)
+        stack.append(n)
+        pn = pool_of[n]
+        for m in graph.adjacency[n]:
+            if m in remaining and overlap(pool_of[m], pn):
+                eff_degree[m] -= 1
+                if eff_degree[m] < len(pool_of[m]) and m not in trivial_set:
+                    trivial.append(m)
+                    trivial_set.add(m)
+
+    coloring: dict[int, Register] = {}
+    memory_spills: list[int] = []
+    moved: list[int] = []
+    for n in reversed(stack):
+        used = {
+            coloring[m] for m in graph.adjacency[n] if m in coloring
+        }
+        choice = _first_free(pool_of[n], used)
+        if choice is None:
+            alt = alt_pool_of.get(n)
+            if alt is not None:
+                choice = _first_free(alt, used)
+                if choice is not None:
+                    moved.append(n)
+        if choice is None:
+            memory_spills.append(n)
+        else:
+            coloring[n] = choice
+    return coloring, memory_spills, moved
+
+
+def _first_free(pool: Pool, used: set[Register]) -> Optional[Register]:
+    for reg in pool.registers:
+        if reg not in used:
+            return reg
+    return None
+
+
+def allocate_registers(
+    program: ILProgram,
+    resolver: PoolResolver,
+    cluster_by_value: Optional[dict[int, int]] = None,
+    max_iterations: int = 12,
+) -> AllocationResult:
+    """Allocate architectural registers for ``program`` (rewrites it on spill).
+
+    Args:
+        program: the IL program; spill code may be inserted in place.
+        resolver: maps each live range (and its cluster) to register pools.
+        cluster_by_value: vid -> cluster partition produced by a
+            live-range partitioner; ``None`` for cluster-oblivious
+            allocation (the "native binary" of Section 4).
+        max_iterations: safety bound on spill/recolour rounds.
+    """
+    cluster_by_value = dict(cluster_by_value or {})
+    spills = SpillContext()
+    all_moved: list[str] = []
+
+    for iteration in range(1, max_iterations + 1):
+        program.renumber()
+        lrs = build_live_ranges(program)
+        designate_global_candidates(lrs)
+        compute_spill_weights(program, lrs)
+
+        cluster_of: dict[int, Optional[int]] = {}
+        pool_of: dict[int, Pool] = {}
+        alt_pool_of: dict[int, Optional[Pool]] = {}
+        weight_of: dict[int, float] = {}
+        for lr in lrs:
+            cluster = cluster_by_value.get(lr.value.vid)
+            cluster_of[lr.lrid] = None if lr.global_candidate else cluster
+            pool, alt = resolver(lr, cluster_of[lr.lrid])
+            pool_of[lr.lrid] = pool
+            alt_pool_of[lr.lrid] = alt
+            # Spill temporaries must not spill again: make them precious.
+            weight = lr.spill_weight
+            if lr.value.vid in spills.temp_vids or not lr.def_uids:
+                weight = float("inf")
+            weight_of[lr.lrid] = weight
+
+        graph = InterferenceGraph.build(program, lrs)
+        coloring, memory_spills, moved = color_graph(
+            graph, pool_of, alt_pool_of, weight_of
+        )
+        for n in moved:
+            all_moved.append(lrs.ranges[n].name)
+            # The range now lives in the other cluster's registers; update
+            # the partition so lowering reports distribution truthfully.
+            old = cluster_of[n]
+            if old is not None:
+                cluster_by_value[lrs.ranges[n].value.vid] = 1 - old
+                cluster_of[n] = 1 - old
+
+        if not memory_spills:
+            return AllocationResult(
+                coloring=coloring,
+                lrs=lrs,
+                cluster_of=cluster_of,
+                moved_ranges=all_moved,
+                spills=spills,
+                iterations=iteration,
+            )
+
+        spill_ranges = [lrs.ranges[n] for n in memory_spills]
+        if any(lr.value.vid in spills.temp_vids for lr in spill_ranges):
+            raise AllocationError(
+                "spill temporaries failed to colour; register pressure is "
+                "pathological for this machine"
+            )
+        insert_spill_code(program, spill_ranges, spills, cluster_by_value, cluster_of)
+
+    raise AllocationError(f"allocation did not converge in {max_iterations} iterations")

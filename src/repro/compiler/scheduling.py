@@ -1,0 +1,275 @@
+"""Prepass code scheduling (Section 3.3).
+
+The methodology requires *prepass* scheduling — instructions are ordered
+before live ranges are partitioned and registers allocated, because the
+local scheduler estimates run-time instruction balance from the static
+order.  Scheduling is per basic block (Section 3.3 argues per-block
+scheduling is mandated by the complexity of reasoning across control-flow
+paths).
+
+This is a classic latency-weighted list scheduler:
+
+* a data-dependence graph is built over the block (RAW with operation
+  latency; WAR/WAW with zero latency to preserve correctness; conservative
+  memory edges keeping every store ordered against every other memory
+  operation);
+* priorities are critical-path heights;
+* ready instructions are issued greedily onto a ``width``-wide virtual
+  machine, highest priority first, fetch order breaking ties (so the
+  schedule is stable and deterministic).
+
+The block terminator always stays last.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.isa.opcodes import InstrClass
+from repro.ir.basic_block import BasicBlock
+from repro.ir.instructions import ILInstruction
+from repro.ir.program import ILProgram
+
+#: Approximate latencies used for scheduling priorities.  These mirror the
+#: machine latencies of Table 1 (integer multiply 6, FP divide ~12 on
+#: average between the 8-cycle and 16-cycle forms, FP other 3, loads 2 with
+#: their delay slot).
+SCHEDULING_LATENCY: dict[InstrClass, int] = {
+    InstrClass.INT_MULTIPLY: 6,
+    InstrClass.INT_OTHER: 1,
+    InstrClass.FP_DIVIDE: 12,
+    InstrClass.FP_OTHER: 3,
+    InstrClass.LOAD: 2,
+    InstrClass.STORE: 1,
+    InstrClass.CONTROL: 1,
+}
+
+
+def build_dependence_edges(
+    instructions: list[ILInstruction],
+) -> list[list[tuple[int, int]]]:
+    """Dependence successors per instruction index.
+
+    Returns ``succs`` where ``succs[i]`` is a list of ``(j, latency)``
+    meaning instruction ``j`` must start at least ``latency`` cycles after
+    instruction ``i``.
+    """
+    n = len(instructions)
+    succs: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    last_def: dict[int, int] = {}  # vid -> index
+    last_uses: dict[int, list[int]] = {}  # vid -> indices since last def
+    last_store: int | None = None
+    memory_since_store: list[int] = []
+
+    for i, instr in enumerate(instructions):
+        latency = SCHEDULING_LATENCY[instr.iclass]
+        for src in instr.srcs:
+            d = last_def.get(src.vid)
+            if d is not None:
+                succs[d].append((i, SCHEDULING_LATENCY[instructions[d].iclass]))
+            last_uses.setdefault(src.vid, []).append(i)
+        if instr.dest is not None:
+            vid = instr.dest.vid
+            d = last_def.get(vid)
+            if d is not None:
+                succs[d].append((i, 0))  # WAW
+            for u in last_uses.get(vid, []):
+                if u != i:
+                    succs[u].append((i, 0))  # WAR
+            last_def[vid] = i
+            last_uses[vid] = []
+        if instr.opcode.is_memory:
+            if instr.opcode.is_store:
+                if last_store is not None:
+                    succs[last_store].append((i, 1))
+                for m in memory_since_store:
+                    succs[m].append((i, 0))
+                last_store = i
+                memory_since_store = []
+            else:
+                if last_store is not None:
+                    succs[last_store].append((i, 1))
+                memory_since_store.append(i)
+        del latency
+    # The terminator must remain last.
+    if instructions and instructions[-1].opcode.is_control:
+        t = n - 1
+        for i in range(n - 1):
+            succs[i].append((t, 0))
+    return succs
+
+
+def critical_path_heights(
+    instructions: list[ILInstruction], succs: list[list[tuple[int, int]]]
+) -> list[int]:
+    """Longest latency path from each instruction to the block exit."""
+    n = len(instructions)
+    heights = [SCHEDULING_LATENCY[i.iclass] for i in instructions]
+    for i in range(n - 1, -1, -1):
+        own = SCHEDULING_LATENCY[instructions[i].iclass]
+        best = own
+        for j, lat in succs[i]:
+            best = max(best, lat + heights[j])
+        heights[i] = best
+    return heights
+
+
+def schedule_block(block: BasicBlock, width: int = 8) -> None:
+    """Reorder ``block.instructions`` in place by list scheduling."""
+    instructions = block.instructions
+    n = len(instructions)
+    if n <= 1:
+        return
+    succs = build_dependence_edges(instructions)
+    heights = critical_path_heights(instructions, succs)
+
+    indegree = [0] * n
+    earliest = [0] * n
+    for i in range(n):
+        for j, _lat in succs[i]:
+            indegree[j] += 1
+
+    # Ready heap keyed by (-height, original index) for stable determinism.
+    ready: list[tuple[int, int]] = []
+    for i in range(n):
+        if indegree[i] == 0:
+            heapq.heappush(ready, (-heights[i], i))
+
+    new_order: list[ILInstruction] = []
+    pending: list[tuple[int, int, int]] = []  # (ready_cycle, -height, index)
+    cycle = 0
+    scheduled = 0
+    while scheduled < n:
+        while pending and pending[0][0] <= cycle:
+            _, negh, idx = heapq.heappop(pending)
+            heapq.heappush(ready, (negh, idx))
+        issued = 0
+        while ready and issued < width:
+            negh, idx = heapq.heappop(ready)
+            new_order.append(instructions[idx])
+            scheduled += 1
+            issued += 1
+            for j, lat in succs[idx]:
+                indegree[j] -= 1
+                earliest[j] = max(earliest[j], cycle + lat)
+                if indegree[j] == 0:
+                    if earliest[j] <= cycle:
+                        heapq.heappush(ready, (-heights[j], j))
+                    else:
+                        heapq.heappush(pending, (earliest[j], -heights[j], j))
+        cycle = max(cycle + 1, pending[0][0] if (pending and not ready) else cycle + 1)
+    block.instructions = new_order
+
+
+def schedule_program(program: ILProgram, width: int = 8) -> None:
+    """List-schedule every block, then renumber instruction uids."""
+    for block in program.cfg.blocks():
+        schedule_block(block, width)
+    program.renumber()
+
+
+# --------------------------------------------------------------------------
+# Postpass (machine-level) scheduling — step 6 of the Section 3.1 pipeline.
+# --------------------------------------------------------------------------
+
+def _machine_edges(instructions) -> list[list[tuple[int, int]]]:
+    """Dependence successors over architectural registers.
+
+    Same structure as :func:`build_dependence_edges`, but RAW/WAR/WAW are
+    keyed by register uid (allocation introduced new reuse constraints),
+    and spill code participates in the memory ordering like any other
+    memory operation.
+    """
+    n = len(instructions)
+    succs: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    last_def: dict[int, int] = {}
+    last_uses: dict[int, list[int]] = {}
+    last_store: int | None = None
+    memory_since_store: list[int] = []
+    for i, instr in enumerate(instructions):
+        for src in instr.effective_srcs:
+            d = last_def.get(src.uid)
+            if d is not None:
+                succs[d].append((i, SCHEDULING_LATENCY[instructions[d].iclass]))
+            last_uses.setdefault(src.uid, []).append(i)
+        dest = instr.effective_dest
+        if dest is not None:
+            d = last_def.get(dest.uid)
+            if d is not None:
+                succs[d].append((i, 0))
+            for u in last_uses.get(dest.uid, []):
+                if u != i:
+                    succs[u].append((i, 0))
+            last_def[dest.uid] = i
+            last_uses[dest.uid] = []
+        if instr.opcode.is_memory:
+            if instr.opcode.is_store:
+                if last_store is not None:
+                    succs[last_store].append((i, 1))
+                for m in memory_since_store:
+                    succs[m].append((i, 0))
+                last_store = i
+                memory_since_store = []
+            else:
+                if last_store is not None:
+                    succs[last_store].append((i, 1))
+                memory_since_store.append(i)
+    if instructions and instructions[-1].opcode.is_control:
+        t = n - 1
+        for i in range(n - 1):
+            succs[i].append((t, 0))
+    return succs
+
+
+def schedule_machine_program(machine, width: int = 8) -> None:
+    """Postpass list scheduling of a machine program, in place.
+
+    Reorders each block's instructions (and their sidecar metadata in
+    lockstep) respecting register, memory, and terminator dependences,
+    then reassigns uids/PCs.
+    """
+    for block in machine.blocks():
+        n = len(block.instructions)
+        if n <= 1:
+            continue
+        succs = _machine_edges(block.instructions)
+        heights = [SCHEDULING_LATENCY[i.iclass] for i in block.instructions]
+        for i in range(n - 1, -1, -1):
+            own = SCHEDULING_LATENCY[block.instructions[i].iclass]
+            best = own
+            for j, lat in succs[i]:
+                best = max(best, lat + heights[j])
+            heights[i] = best
+        indegree = [0] * n
+        earliest = [0] * n
+        for i in range(n):
+            for j, _lat in succs[i]:
+                indegree[j] += 1
+        ready: list[tuple[int, int]] = []
+        for i in range(n):
+            if indegree[i] == 0:
+                heapq.heappush(ready, (-heights[i], i))
+        order: list[int] = []
+        pending: list[tuple[int, int, int]] = []
+        cycle = 0
+        while len(order) < n:
+            while pending and pending[0][0] <= cycle:
+                _, negh, idx = heapq.heappop(pending)
+                heapq.heappush(ready, (negh, idx))
+            issued = 0
+            while ready and issued < width:
+                negh, idx = heapq.heappop(ready)
+                order.append(idx)
+                issued += 1
+                for j, lat in succs[idx]:
+                    indegree[j] -= 1
+                    earliest[j] = max(earliest[j], cycle + lat)
+                    if indegree[j] == 0:
+                        if earliest[j] <= cycle:
+                            heapq.heappush(ready, (-heights[j], j))
+                        else:
+                            heapq.heappush(pending, (earliest[j], -heights[j], j))
+            cycle = max(cycle + 1, pending[0][0] if (pending and not ready) else cycle + 1)
+        block.instructions = [block.instructions[i] for i in order]
+        block.meta = [block.meta[i] for i in order]
+    machine.assign_pcs()

@@ -1,0 +1,143 @@
+"""Spill-code insertion.
+
+When the allocator cannot colour a live range it is spilled to memory
+(Section 3.4): a store is inserted after every definition and a load before
+every use, each through a fresh short-lived temporary.  Spill slots live in
+a dedicated stack region; the trace generator maps the ``__spill<N>``
+address-stream annotation to ``spill_base + 8 * N`` so spill traffic is
+cache-friendly, mirroring real stack spills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RegisterClass
+from repro.ir.instructions import ILInstruction
+from repro.ir.live_range import LiveRange
+from repro.ir.program import ILProgram
+from repro.ir.values import ILValue
+
+#: Prefix recognized by the trace generator for spill-slot address streams.
+SPILL_STREAM_PREFIX = "__spill"
+
+_LOAD_OPCODE = {RegisterClass.INT: Opcode.LDQ, RegisterClass.FP: Opcode.LDT}
+_STORE_OPCODE = {RegisterClass.INT: Opcode.STQ, RegisterClass.FP: Opcode.STT}
+
+
+@dataclass
+class SpillRecord:
+    """Book-keeping for one spilled live range."""
+
+    range_name: str
+    slot: int
+    stores_inserted: int = 0
+    loads_inserted: int = 0
+    temp_values: list[ILValue] = field(default_factory=list)
+
+
+class SpillContext:
+    """Allocates spill slots and tracks cumulative spill statistics."""
+
+    def __init__(self) -> None:
+        self.next_slot = 0
+        self.records: list[SpillRecord] = []
+        #: vids of spill temporaries — the allocator must never respill these.
+        self.temp_vids: set[int] = set()
+
+    @property
+    def total_loads(self) -> int:
+        return sum(r.loads_inserted for r in self.records)
+
+    @property
+    def total_stores(self) -> int:
+        return sum(r.stores_inserted for r in self.records)
+
+
+def insert_spill_code(
+    program: ILProgram,
+    spilled: list[LiveRange],
+    context: SpillContext,
+    cluster_by_value: dict[int, int],
+    cluster_of: dict[int, int | None],
+) -> None:
+    """Rewrite ``program`` in place, spilling each range in ``spilled``.
+
+    ``cluster_by_value`` (vid -> cluster) is updated so that spill
+    temporaries inherit the cluster of the range they replace, keeping the
+    partition stable across allocation iterations.  ``cluster_of`` maps
+    lrid -> cluster for the current iteration's ranges.
+    """
+    sp = program.stack_pointer
+    if sp is None:
+        sp = program.new_value("SP", RegisterClass.INT, is_stack_pointer=True)
+
+    plan: dict[int, tuple[LiveRange, SpillRecord]] = {}
+    for lr in spilled:
+        record = SpillRecord(lr.name, context.next_slot)
+        context.next_slot += 1
+        context.records.append(record)
+        plan[lr.lrid] = (lr, record)
+
+    # Group rewrites by instruction uid.
+    def_rewrites: dict[int, tuple[LiveRange, SpillRecord]] = {}
+    use_rewrites: dict[int, list[tuple[LiveRange, SpillRecord]]] = {}
+    for lr, record in plan.values():
+        for uid in lr.def_uids:
+            def_rewrites[uid] = (lr, record)
+        for uid in lr.use_uids:
+            use_rewrites.setdefault(uid, []).append((lr, record))
+
+    for block in program.cfg.blocks():
+        new_body: list[ILInstruction] = []
+        for instr in block.instructions:
+            current = instr
+            # Loads before uses.
+            for lr, record in use_rewrites.get(instr.uid, []):
+                temp = program.new_value(
+                    f"{lr.name}.u{instr.uid}", lr.rclass
+                )
+                record.temp_values.append(temp)
+                context.temp_vids.add(temp.vid)
+                record.loads_inserted += 1
+                if lr.value.vid in cluster_by_value:
+                    cluster_by_value[temp.vid] = cluster_by_value[lr.value.vid]
+                elif cluster_of.get(lr.lrid) is not None:
+                    cluster_by_value[temp.vid] = cluster_of[lr.lrid]  # type: ignore[assignment]
+                new_body.append(
+                    ILInstruction(
+                        _LOAD_OPCODE[lr.rclass],
+                        dest=temp,
+                        srcs=(sp,),
+                        imm=8 * record.slot,
+                        mem_stream=f"{SPILL_STREAM_PREFIX}{record.slot}",
+                    )
+                )
+                current = current.replace(
+                    srcs=tuple(temp if s is lr.value else s for s in current.srcs)
+                )
+            # Definition: write a temp, then store it.
+            pending_store = None
+            if instr.uid in def_rewrites:
+                lr, record = def_rewrites[instr.uid]
+                temp = program.new_value(f"{lr.name}.d{instr.uid}", lr.rclass)
+                record.temp_values.append(temp)
+                context.temp_vids.add(temp.vid)
+                record.stores_inserted += 1
+                if lr.value.vid in cluster_by_value:
+                    cluster_by_value[temp.vid] = cluster_by_value[lr.value.vid]
+                elif cluster_of.get(lr.lrid) is not None:
+                    cluster_by_value[temp.vid] = cluster_of[lr.lrid]  # type: ignore[assignment]
+                current = current.replace(dest=temp)
+                pending_store = ILInstruction(
+                    _STORE_OPCODE[lr.rclass],
+                    srcs=(temp, sp),
+                    imm=8 * record.slot,
+                    mem_stream=f"{SPILL_STREAM_PREFIX}{record.slot}",
+                )
+            new_body.append(current)
+            if pending_store is not None:
+                new_body.append(pending_store)
+        block.instructions = new_body
+    program.renumber()

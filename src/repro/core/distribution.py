@@ -1,0 +1,201 @@
+"""Instruction distribution: which cluster(s) execute an instruction.
+
+Implements Section 2.1's rules.  "Multiple-cluster execution is used
+whenever an instruction either names source registers that are not
+accessible from within one cluster or names a destination register that is
+not uniquely assigned to one cluster."  When dual distribution is needed,
+the master copy "is executed by cluster [c] because the majority of the
+local registers named by the instruction are assigned to cluster [c]".
+
+The planning logic is expressed over abstract *cluster sets* so the same
+code serves two callers:
+
+* the hardware model, which resolves architectural registers through a
+  :class:`~repro.core.registers.RegisterAssignment`;
+* the compiler's balance estimator, which resolves IL operands through a
+  (possibly partial) live-range partition — unassigned ranges act as
+  wildcards accessible from every cluster.
+
+The five execution scenarios of Section 2.1 are the values of
+:class:`Scenario`; Figures 2-5 of the paper illustrate scenarios 2-5.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.isa.instructions import MachineInstruction
+from repro.core.registers import RegisterAssignment
+
+
+class Scenario(enum.Enum):
+    """Execution scenarios of Section 2.1 (Figures 2-5 show 2-5)."""
+
+    SINGLE = 1              # scenario 1: all registers in one cluster
+    DUAL_OPERAND = 2        # scenario 2: slave forwards a source operand
+    DUAL_RESULT = 3         # scenario 3: master forwards the result
+    DUAL_GLOBAL = 4         # scenario 4: global destination, sources co-located
+    DUAL_OPERAND_GLOBAL = 5  # scenario 5: operand forwarded AND global dest
+    #: Not enumerated in the paper's walk-through but reachable: sources
+    #: split across clusters and the (local) destination lives with the
+    #: minority source, so both an operand and the result are forwarded.
+    DUAL_OPERAND_RESULT = 6
+
+    @property
+    def is_dual(self) -> bool:
+        return self is not Scenario.SINGLE
+
+
+@dataclass(frozen=True)
+class DistributionPlan:
+    """How one instruction is distributed and executed.
+
+    Attributes:
+        scenario: which of the Section 2.1 scenarios applies.
+        master: cluster that performs the computation.
+        slave: the second cluster for dual distribution, else ``None``.
+        forwarded_src_indices: positions (into the instruction's source
+            list) of operands the slave reads and forwards to the master
+            through the slave-side issue slot and the master's operand
+            transfer buffer.
+        result_forwarded: the master sends its result through the slave
+            cluster's result transfer buffer (scenarios 3, 4, 5, 6).
+        global_dest: the destination is a global register — both copies
+            allocate a physical register and both register files are
+            written (scenarios 4 and 5).
+    """
+
+    scenario: Scenario
+    master: int
+    slave: Optional[int] = None
+    forwarded_src_indices: tuple[int, ...] = ()
+    result_forwarded: bool = False
+    global_dest: bool = False
+
+    @property
+    def is_dual(self) -> bool:
+        return self.slave is not None
+
+    @property
+    def clusters(self) -> tuple[int, ...]:
+        if self.slave is None:
+            return (self.master,)
+        return (self.master, self.slave)
+
+
+def plan_distribution(
+    src_clusters: Sequence[Optional[frozenset[int]]],
+    dest_clusters: Optional[frozenset[int]],
+    num_clusters: int,
+    preferred: int = 0,
+) -> DistributionPlan:
+    """Plan distribution from abstract operand cluster sets.
+
+    Args:
+        src_clusters: per source operand, the set of clusters that can read
+            it; ``None`` marks an operand with no constraint (zero register
+            or unpartitioned live range) which is accessible everywhere.
+        dest_clusters: cluster set of the destination, or ``None`` when the
+            instruction has no destination (or writes a zero register).
+        num_clusters: cluster count of the machine.
+        preferred: tie-break/default cluster for unconstrained instructions
+            (the hardware alternates; callers pass their policy's choice).
+    """
+    everywhere = frozenset(range(num_clusters))
+    srcs = [s if s is not None else everywhere for s in src_clusters]
+
+    if num_clusters == 1:
+        return DistributionPlan(Scenario.SINGLE, master=0)
+
+    readable = everywhere
+    for s in srcs:
+        readable &= s
+
+    global_dest = dest_clusters is not None and len(dest_clusters) == num_clusters
+    dest_home: Optional[int] = None
+    if dest_clusters is not None and len(dest_clusters) == 1:
+        dest_home = next(iter(dest_clusters))
+
+    # --- single distribution -------------------------------------------------
+    if not global_dest:
+        if dest_home is not None:
+            if dest_home in readable:
+                return DistributionPlan(Scenario.SINGLE, master=dest_home)
+        elif readable:
+            master = preferred if preferred in readable else min(readable)
+            return DistributionPlan(Scenario.SINGLE, master=master)
+
+    # --- dual distribution ---------------------------------------------------
+    # Master selection: majority vote over the named local registers
+    # (Section 2.1, scenario 2); the destination participates in the vote.
+    votes = [0] * num_clusters
+    for s in srcs:
+        if len(s) == 1:
+            votes[next(iter(s))] += 1
+    if dest_home is not None:
+        votes[dest_home] += 1
+
+    if readable:
+        # All sources are co-located (or wildcarded): compute where they are.
+        master = preferred if preferred in readable else min(readable)
+        if dest_home is not None and dest_home in readable:
+            # Only a global destination forced dual distribution.
+            master = dest_home
+    else:
+        best = max(votes)
+        candidates = [c for c in range(num_clusters) if votes[c] == best]
+        master = preferred if preferred in candidates else candidates[0]
+    slave = 1 - master if num_clusters == 2 else _other_cluster(master, srcs, num_clusters)
+
+    forwarded = tuple(
+        i for i, s in enumerate(srcs) if master not in s
+    )
+    result_forwarded = global_dest or (dest_home is not None and dest_home != master)
+
+    if global_dest:
+        scenario = (
+            Scenario.DUAL_OPERAND_GLOBAL if forwarded else Scenario.DUAL_GLOBAL
+        )
+    elif forwarded and result_forwarded:
+        scenario = Scenario.DUAL_OPERAND_RESULT
+    elif forwarded:
+        scenario = Scenario.DUAL_OPERAND
+    else:
+        scenario = Scenario.DUAL_RESULT
+
+    return DistributionPlan(
+        scenario=scenario,
+        master=master,
+        slave=slave,
+        forwarded_src_indices=forwarded,
+        result_forwarded=result_forwarded,
+        global_dest=global_dest,
+    )
+
+
+def _other_cluster(
+    master: int, srcs: list[frozenset[int]], num_clusters: int
+) -> int:
+    """Slave cluster for >2-cluster machines: where the minority operands live."""
+    for s in srcs:
+        if master not in s and len(s) >= 1:
+            return min(s)
+    return (master + 1) % num_clusters
+
+
+def plan_for_instruction(
+    instr: MachineInstruction,
+    assignment: RegisterAssignment,
+    preferred: int = 0,
+) -> DistributionPlan:
+    """Distribution plan for a machine instruction under ``assignment``."""
+    src_sets: list[Optional[frozenset[int]]] = []
+    for reg in instr.srcs:
+        src_sets.append(None if reg.is_zero else assignment.clusters_of(reg))
+    dest = instr.effective_dest
+    dest_set = assignment.clusters_of(dest) if dest is not None else None
+    return plan_distribution(
+        src_sets, dest_set, assignment.num_clusters, preferred=preferred
+    )

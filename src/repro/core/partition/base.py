@@ -1,0 +1,66 @@
+"""Partitioner interface: live-range -> cluster assignment (step 4, §3.1)."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.ir.live_range import LiveRangeSet
+from repro.ir.program import ILProgram
+
+
+class Partitioner(abc.ABC):
+    """Assigns each local-candidate live range to a cluster.
+
+    Global-candidate live ranges are never partitioned — they live in
+    global registers replicated across clusters.
+    """
+
+    #: Short name used in reports and experiment tables.
+    name: str = "base"
+
+    def __init__(self, num_clusters: int = 2) -> None:
+        self.num_clusters = num_clusters
+
+    @abc.abstractmethod
+    def partition(
+        self, program: ILProgram, lrs: LiveRangeSet
+    ) -> dict[int, int]:
+        """Return lrid -> cluster for every local-candidate live range."""
+
+    def partition_by_value(
+        self, program: ILProgram, lrs: LiveRangeSet
+    ) -> dict[int, int]:
+        """vid -> cluster, collapsing multi-web values by first assignment.
+
+        The register allocator re-derives live ranges on every spill
+        iteration, so it consumes the partition keyed by value.  Values
+        whose webs were assigned to different clusters take the assignment
+        of their lowest-numbered web (a documented approximation; generated
+        workloads are essentially single-web).
+        """
+        by_lrid = self.partition(program, lrs)
+        result: dict[int, int] = {}
+        for lr in lrs:
+            cluster = by_lrid.get(lr.lrid)
+            if cluster is not None and lr.value.vid not in result:
+                result[lr.value.vid] = cluster
+        return result
+
+
+def complete_partition(
+    lrs: LiveRangeSet, partial: dict[int, Optional[int]]
+) -> dict[int, int]:
+    """Fill unassigned local candidates round-robin (fallback used by
+    partitioners for ranges no instruction writes)."""
+    result: dict[int, int] = {}
+    next_cluster = 0
+    for lr in lrs:
+        if lr.global_candidate:
+            continue
+        cluster = partial.get(lr.lrid)
+        if cluster is None:
+            cluster = next_cluster
+            next_cluster = 1 - next_cluster
+        result[lr.lrid] = cluster
+    return result

@@ -1,0 +1,167 @@
+"""The local scheduler — the paper's live-range partitioning algorithm.
+
+Section 3.5, reproduced faithfully:
+
+1. Sort the basic blocks by the estimated execution count of each block's
+   first instruction (profile-derived); blocks with equal estimates sort
+   by static instruction count.  Largest first.
+2. Remove the top block and traverse its instructions **bottom-up, in
+   order** (last instruction first).
+3. When the visited instruction *writes* an unassigned local-candidate
+   live range, choose that range's cluster:
+
+   * if the estimated instruction distribution around the instruction is
+     **unbalanced** (one cluster got more than ``imbalance_threshold``
+     instructions over the other — a compile-time constant), pick the
+     under-subscribed cluster;
+   * otherwise pick the cluster **preferred by the majority** of the
+     instructions that read or write the range, where an instruction
+     prefers cluster ``c`` if assigning the range to ``c`` lets it be
+     distributed to a single cluster.
+
+4. Repeat until every block has been traversed.  A range's cluster is
+   fixed the first time a writing instruction is encountered.
+
+For the example CFG of the paper's Figure 6 this visits blocks in the
+order 4, 1, 5, 3, 2 and assigns live ranges in the order
+C, G, B, A, E, D, H (S being a global candidate is skipped) — verified in
+``tests/core/test_local_scheduler_figure6.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.live_range import LiveRange, LiveRangeSet
+from repro.ir.program import ILProgram
+from repro.core.balance import il_plan, imbalance_around
+from repro.core.partition.base import Partitioner, complete_partition
+
+
+class LocalScheduler(Partitioner):
+    """The paper's local scheduler (Section 3.5).
+
+    ``imbalance_threshold`` is the compile-time constant of Section 3.5.
+    ``imbalance_scope`` selects how the in-block distribution imbalance is
+    estimated (see :func:`repro.core.balance.imbalance_around`); the
+    default whole-block estimate is what makes the balancing arm engage on
+    loop bodies.
+    """
+
+    name = "local"
+
+    def __init__(
+        self,
+        num_clusters: int = 2,
+        imbalance_threshold: int = 2,
+        imbalance_scope: str = "block",
+    ) -> None:
+        super().__init__(num_clusters)
+        self.imbalance_threshold = imbalance_threshold
+        self.imbalance_scope = imbalance_scope
+        #: Order in which live ranges were assigned (for tests/examples).
+        self.assignment_order: list[LiveRange] = []
+        self._assigned_counts = [0] * num_clusters
+
+    # ------------------------------------------------------------------ api
+    def partition(self, program: ILProgram, lrs: LiveRangeSet) -> dict[int, int]:
+        self.assignment_order = []
+        self._assigned_counts = [0] * self.num_clusters
+        cluster_of: dict[int, Optional[int]] = {
+            lr.lrid: None for lr in lrs.local_candidates()
+        }
+        instr_by_uid = {i.uid: i for i in program.all_instructions()}
+        uid_to_block: dict[int, tuple[BasicBlock, int]] = {}
+        for block in program.cfg.blocks():
+            for idx, instr in enumerate(block.instructions):
+                uid_to_block[instr.uid] = (block, idx)
+
+        for block in self.block_order(program):
+            for index in range(len(block.instructions) - 1, -1, -1):
+                instr = block.instructions[index]
+                if instr.dest is None:
+                    continue
+                lr = lrs.def_map.get((instr.uid, instr.dest))
+                if lr is None or lr.global_candidate:
+                    continue
+                if cluster_of.get(lr.lrid) is not None:
+                    continue
+                cluster = self._choose_cluster(
+                    lr, block, index, lrs, cluster_of, instr_by_uid, uid_to_block
+                )
+                cluster_of[lr.lrid] = cluster
+                self._assigned_counts[cluster] += 1
+                self.assignment_order.append(lr)
+        return complete_partition(lrs, cluster_of)
+
+    # ------------------------------------------------------------- internals
+    def block_order(self, program: ILProgram) -> list[BasicBlock]:
+        """Blocks sorted by (execution estimate, static size), largest first.
+
+        The size tie-break counts the block body excluding the terminator,
+        matching the paper's Figure 6 example where blocks 2 and 3 have
+        equal estimates and block 3's three (non-branch) instructions beat
+        block 2's two.
+        """
+        blocks = list(program.cfg.blocks())
+        return sorted(
+            blocks,
+            key=lambda b: (
+                -b.profile_count,
+                -len(b.body),
+                program.cfg.layout_index(b.label),
+            ),
+        )
+
+    def _choose_cluster(
+        self,
+        lr: LiveRange,
+        block: BasicBlock,
+        index: int,
+        lrs: LiveRangeSet,
+        cluster_of: dict[int, Optional[int]],
+        instr_by_uid,
+        uid_to_block,
+    ) -> int:
+        imbalance = imbalance_around(
+            block, index, lrs, cluster_of, self.num_clusters, self.imbalance_scope
+        )
+        if abs(imbalance) > self.imbalance_threshold:
+            # Unbalanced: assign to the under-subscribed cluster.
+            return 1 if imbalance > 0 else 0
+
+        votes = self._preference_votes(lr, lrs, cluster_of, instr_by_uid)
+        best = max(votes)
+        candidates = [c for c in range(self.num_clusters) if votes[c] == best]
+        if len(candidates) == 1:
+            return candidates[0]
+        # Tie: lean against the (sub-threshold) block imbalance, then
+        # against the global assignment balance, then cluster 0.
+        if imbalance > 0 and 1 in candidates:
+            return 1
+        if imbalance < 0 and 0 in candidates:
+            return 0
+        return min(candidates, key=lambda c: self._assigned_counts[c])
+
+    def _preference_votes(
+        self,
+        lr: LiveRange,
+        lrs: LiveRangeSet,
+        cluster_of: dict[int, Optional[int]],
+        instr_by_uid,
+    ) -> list[int]:
+        """Section 3.5: an instruction prefers cluster ``c`` if assigning the
+        range to ``c`` lets the instruction distribute to one cluster."""
+        votes = [0] * self.num_clusters
+        for uid in sorted(lr.reference_uids):
+            instr = instr_by_uid.get(uid)
+            if instr is None:
+                continue
+            for c in range(self.num_clusters):
+                cluster_of[lr.lrid] = c
+                plan = il_plan(instr, lrs, cluster_of, self.num_clusters)
+                if not plan.is_dual:
+                    votes[c] += 1
+            cluster_of[lr.lrid] = None
+        return votes

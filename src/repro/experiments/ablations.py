@@ -1,0 +1,335 @@
+"""Experiment E10 and the DESIGN.md ablations.
+
+The paper evaluated both 4-way and 8-way machines but printed only the
+8-way results ("these more clearly show the important trends");
+:func:`run_issue_width_ablation` reproduces the 4-way companion.  The
+remaining sweeps probe the design choices DESIGN.md calls out: the local
+scheduler's imbalance threshold, transfer-buffer depth, partitioner
+choice, and the architectural-register-to-cluster map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.partition import (
+    AffinityPartitioner,
+    LocalScheduler,
+    Partitioner,
+    RandomPartitioner,
+    RoundRobinPartitioner,
+)
+from repro.core.registers import RegisterAssignment
+from repro.experiments.harness import EvaluationOptions, evaluate_workload
+from repro.uarch.config import (
+    dual_cluster_2way_config,
+    dual_cluster_config,
+    single_cluster_4way_config,
+    with_buffer_entries,
+)
+from repro.workloads.generator import Workload
+
+
+@dataclass
+class AblationPoint:
+    label: str
+    pct_none: float
+    pct_local: float
+    dual_fraction: float
+    replays: int
+
+
+@dataclass
+class AblationResult:
+    name: str
+    points: list[AblationPoint] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = [
+            f"ablation: {self.name}",
+            f"{'point':<22} {'none %':>8} {'local %':>8} {'dual %':>7} {'replays':>8}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.label:<22} {p.pct_none:+8.1f} {p.pct_local:+8.1f} "
+                f"{100 * p.dual_fraction:>6.1f}% {p.replays:>8}"
+            )
+        return "\n".join(lines)
+
+
+def _point(label: str, workload: Workload, options: EvaluationOptions) -> AblationPoint:
+    ev = evaluate_workload(workload, options)
+    return AblationPoint(
+        label=label,
+        pct_none=ev.pct_none,
+        pct_local=ev.pct_local,
+        dual_fraction=ev.dual_local.stats.dual_fraction,
+        replays=ev.dual_local.stats.replay_exceptions,
+    )
+
+
+def run_issue_width_ablation(
+    build: Callable[[], Workload], trace_length: int = 30_000
+) -> AblationResult:
+    """E10: 8-way single vs 2x4 dual, and 4-way single vs 2x2 dual."""
+    result = AblationResult("issue width (single vs clustered pair)")
+    result.points.append(
+        _point("8-way vs 2x4-way", build(), EvaluationOptions(trace_length=trace_length))
+    )
+    result.points.append(
+        _point(
+            "4-way vs 2x2-way",
+            build(),
+            EvaluationOptions(
+                trace_length=trace_length,
+                single_config=single_cluster_4way_config(),
+                dual_config=dual_cluster_2way_config(),
+            ),
+        )
+    )
+    return result
+
+
+def run_threshold_ablation(
+    build: Callable[[], Workload],
+    thresholds: tuple[int, ...] = (0, 1, 2, 4, 8, 16),
+    trace_length: int = 30_000,
+) -> AblationResult:
+    """Sweep the local scheduler's compile-time imbalance constant."""
+    result = AblationResult("local-scheduler imbalance threshold")
+    for threshold in thresholds:
+        result.points.append(
+            _point(
+                f"threshold={threshold}",
+                build(),
+                EvaluationOptions(
+                    trace_length=trace_length,
+                    partitioner=LocalScheduler(imbalance_threshold=threshold),
+                ),
+            )
+        )
+    return result
+
+
+def run_buffer_depth_ablation(
+    build: Callable[[], Workload],
+    depths: tuple[int, ...] = (2, 4, 8, 16, 32),
+    trace_length: int = 30_000,
+) -> AblationResult:
+    """Sweep the operand/result transfer-buffer depth (paper: 8 + 8)."""
+    result = AblationResult("transfer-buffer entries per cluster")
+    for depth in depths:
+        result.points.append(
+            _point(
+                f"entries={depth}",
+                build(),
+                EvaluationOptions(
+                    trace_length=trace_length,
+                    dual_config=with_buffer_entries(dual_cluster_config(), depth),
+                ),
+            )
+        )
+    return result
+
+
+def run_partitioner_ablation(
+    build: Callable[[], Workload], trace_length: int = 30_000
+) -> AblationResult:
+    """Local scheduler vs balance-blind baselines."""
+    partitioners: list[Partitioner] = [
+        LocalScheduler(),
+        AffinityPartitioner(),
+        RoundRobinPartitioner(),
+        RandomPartitioner(seed=3),
+    ]
+    result = AblationResult("partitioner (column 'local %' is the partitioned binary)")
+    for partitioner in partitioners:
+        result.points.append(
+            _point(
+                partitioner.name,
+                build(),
+                EvaluationOptions(trace_length=trace_length, partitioner=partitioner),
+            )
+        )
+    return result
+
+
+def run_queue_size_ablation(
+    build: Callable[[], Workload],
+    queue_sizes: tuple[int, ...] = (32, 64, 128, 256),
+    trace_length: int = 30_000,
+) -> "QueueSizeResult":
+    """The paper's explanation for the compress anomaly, isolated.
+
+    Section 4.2 attributes compress's *speedup* on the dual-cluster
+    machine to the single cluster's larger dispatch queue: more in-flight
+    branches between prediction and table update (stale predictor state)
+    and more issue disorder (cache behaviour).  This sweep runs the same
+    native binary on single-cluster machines that differ only in dispatch
+    queue size, exposing how much queue depth costs or buys on a workload.
+    """
+    import dataclasses
+
+    from repro.compiler.pipeline import compile_program
+    from repro.uarch.config import single_cluster_config
+    from repro.uarch.processor import simulate
+    from repro.workloads.tracegen import TraceGenerator
+
+    workload = build()
+    native = compile_program(workload.program, RegisterAssignment.single_cluster())
+    trace = TraceGenerator(
+        native.machine, workload.streams, workload.behaviors, seed=7
+    ).generate(trace_length)
+
+    rows = []
+    for entries in queue_sizes:
+        base = single_cluster_config(name=f"single-q{entries}")
+        cluster = dataclasses.replace(
+            base.clusters[0], dispatch_queue_entries=entries
+        )
+        config = dataclasses.replace(base, clusters=(cluster,))
+        result = simulate(trace, config)
+        rows.append(
+            QueueSizePoint(
+                entries=entries,
+                cycles=result.cycles,
+                branch_accuracy=result.stats.branch_accuracy,
+                dcache_miss_rate=result.stats.dcache_miss_rate,
+                issue_disorder=result.stats.issue_disorder,
+            )
+        )
+    return QueueSizeResult(workload.name, rows)
+
+
+@dataclass
+class QueueSizePoint:
+    entries: int
+    cycles: int
+    branch_accuracy: float
+    dcache_miss_rate: float
+    issue_disorder: float
+
+
+@dataclass
+class QueueSizeResult:
+    benchmark: str
+    points: list[QueueSizePoint]
+
+    def format(self) -> str:
+        lines = [
+            f"ablation: single-cluster dispatch-queue size ({self.benchmark})",
+            f"{'entries':>8} {'cycles':>9} {'br acc':>8} {'d$ miss':>8} {'disorder':>9}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.entries:>8} {p.cycles:>9} {100 * p.branch_accuracy:>7.2f}% "
+                f"{100 * p.dcache_miss_rate:>7.2f}% {p.issue_disorder:>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_imbalance_scope_ablation(
+    build: Callable[[], Workload], trace_length: int = 30_000
+) -> AblationResult:
+    """Whole-block vs prefix-only imbalance estimation in the local
+    scheduler (the interpretation choice documented in
+    :func:`repro.core.balance.imbalance_around`)."""
+    result = AblationResult("local-scheduler imbalance scope")
+    for scope in ("block", "prefix"):
+        result.points.append(
+            _point(
+                f"scope={scope}",
+                build(),
+                EvaluationOptions(
+                    trace_length=trace_length,
+                    partitioner=LocalScheduler(imbalance_scope=scope),
+                ),
+            )
+        )
+    return result
+
+
+def run_unroll_ablation(
+    build: Callable[[], Workload],
+    factors: tuple[int, ...] = (1, 2, 4),
+    trace_length: int = 30_000,
+) -> AblationResult:
+    """Section 6 future work: unroll inner loops before partitioning.
+
+    "Loop unrolling could be used to generate a code schedule in which
+    multiple iterations of a loop were interleaved, with each iteration
+    scheduled to use a separate cluster."  Unrolled copies are mostly
+    independent, so the local scheduler can spread them; the sweep
+    measures whether that pays on this workload.
+    """
+    from repro.compiler.passes.unroll import unroll_program
+    from repro.workloads.branch_models import LoopBranch
+
+    result = AblationResult("loop unrolling factor (Section 6 future work)")
+    for factor in factors:
+        workload = build()
+        if factor > 1 and unroll_program(workload.program, factor):
+            # Trip counts now describe unrolled trips: scale the loop
+            # behaviours down so dynamic iteration counts stay comparable.
+            for name, model in list(workload.behaviors.items()):
+                if isinstance(model, LoopBranch):
+                    workload.behaviors[name] = LoopBranch(
+                        max(1, model.trip_count // factor), model.jitter
+                    )
+        result.points.append(
+            _point(
+                f"unroll x{factor}",
+                workload,
+                EvaluationOptions(trace_length=trace_length),
+            )
+        )
+    return result
+
+
+def run_global_widening_ablation(
+    build: Callable[[], Workload],
+    extra_global_registers: tuple[int, ...] = (0, 2, 4),
+    trace_length: int = 30_000,
+) -> AblationResult:
+    """Section 6 future work: allocate key variables to global registers.
+
+    "A second scheme is to allocate key variables to global registers so
+    that the variables can be accessed from within each cluster without an
+    inter-cluster data transfer."  Sweeps the number of extra architectural
+    registers made global (beyond SP/GP); each consumes a physical register
+    in every cluster, so the benefit trades against register pressure.
+    """
+    from repro.isa.registers import int_reg
+
+    result = AblationResult("extra global registers (Section 6 future work)")
+    for count in extra_global_registers:
+        extras = tuple(int_reg(2 + i) for i in range(count))
+        assignment = RegisterAssignment.even_odd_dual(extra_globals=extras)
+        result.points.append(
+            _point(
+                f"extra globals={count}",
+                build(),
+                EvaluationOptions(trace_length=trace_length, dual_assignment=assignment),
+            )
+        )
+    return result
+
+
+def run_assignment_ablation(
+    build: Callable[[], Workload], trace_length: int = 30_000
+) -> AblationResult:
+    """Even/odd (the paper's choice) vs low/high register-to-cluster maps."""
+    result = AblationResult("register-to-cluster assignment")
+    for label, assignment in (
+        ("even/odd", RegisterAssignment.even_odd_dual()),
+        ("low/high", RegisterAssignment.low_high_dual()),
+    ):
+        result.points.append(
+            _point(
+                label,
+                build(),
+                EvaluationOptions(trace_length=trace_length, dual_assignment=assignment),
+            )
+        )
+    return result

@@ -1,0 +1,118 @@
+"""Common machinery for running the paper's experiments.
+
+The methodology mirrors Section 4:
+
+1. compile the workload's IL with the cluster-oblivious allocator — the
+   *native binary*;
+2. rescheduled binary: partition live ranges (the local scheduler by
+   default) against the even/odd dual-cluster register assignment and
+   re-allocate;
+3. trace each binary with identical workload models and seed;
+4. simulate: native binary on the single-cluster machine (the baseline),
+   native binary on the dual-cluster machine (Table 2 column "none"),
+   rescheduled binary on the dual-cluster machine (column "local");
+5. report the percentage speedup ``100 - 100 * C_dual / C_single``
+   (negative = slowdown), the paper's Table 2 metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.compiler.pipeline import CompilationResult, CompilerOptions, compile_program
+from repro.core.partition.base import Partitioner
+from repro.core.partition.local import LocalScheduler
+from repro.core.registers import RegisterAssignment
+from repro.uarch.config import ProcessorConfig, dual_cluster_config, single_cluster_config
+from repro.uarch.processor import SimulationResult, simulate
+from repro.workloads.generator import Workload
+from repro.workloads.spec92 import DEFAULT_TRACE_LENGTH
+from repro.workloads.tracegen import TraceGenerator
+
+
+def speedup_percent(single_cycles: int, dual_cycles: int) -> float:
+    """Table 2's metric: ``100 - 100 * C_dual / C_single``.
+
+    Positive values are speedups, negative values slowdowns.
+    """
+    return 100.0 - 100.0 * dual_cycles / single_cycles
+
+
+@dataclass
+class BenchmarkEvaluation:
+    """All runs for one benchmark (one row of Table 2, plus diagnostics)."""
+
+    name: str
+    single: SimulationResult
+    dual_none: SimulationResult
+    dual_local: SimulationResult
+    native_compile: CompilationResult
+    local_compile: CompilationResult
+    trace_length: int = 0
+
+    @property
+    def pct_none(self) -> float:
+        return speedup_percent(self.single.cycles, self.dual_none.cycles)
+
+    @property
+    def pct_local(self) -> float:
+        return speedup_percent(self.single.cycles, self.dual_local.cycles)
+
+
+@dataclass
+class EvaluationOptions:
+    """Knobs for :func:`evaluate_workload`."""
+
+    trace_length: int = DEFAULT_TRACE_LENGTH
+    trace_seed: int = 7
+    partitioner: Optional[Partitioner] = None  # default: LocalScheduler()
+    single_config: Optional[ProcessorConfig] = None
+    dual_config: Optional[ProcessorConfig] = None
+    dual_assignment: Optional[RegisterAssignment] = None
+    compiler: CompilerOptions = field(default_factory=CompilerOptions)
+
+
+def evaluate_workload(
+    workload: Workload, options: Optional[EvaluationOptions] = None
+) -> BenchmarkEvaluation:
+    """Run the full Section 4 methodology on one workload."""
+    options = options or EvaluationOptions()
+    single_config = options.single_config or single_cluster_config()
+    dual_config = options.dual_config or dual_cluster_config()
+    dual_assignment = options.dual_assignment or RegisterAssignment.even_odd_dual()
+    partitioner = options.partitioner or LocalScheduler()
+
+    native = compile_program(
+        workload.program,
+        RegisterAssignment.single_cluster(),
+        partitioner=None,
+        options=options.compiler,
+    )
+    rescheduled = compile_program(
+        workload.program,
+        dual_assignment,
+        partitioner=partitioner,
+        options=options.compiler,
+    )
+
+    native_trace = TraceGenerator(
+        native.machine, workload.streams, workload.behaviors, seed=options.trace_seed
+    ).generate(options.trace_length)
+    local_trace = TraceGenerator(
+        rescheduled.machine, workload.streams, workload.behaviors, seed=options.trace_seed
+    ).generate(options.trace_length)
+
+    single = simulate(native_trace, single_config, RegisterAssignment.single_cluster())
+    dual_none = simulate(native_trace, dual_config, dual_assignment)
+    dual_local = simulate(local_trace, dual_config, dual_assignment)
+
+    return BenchmarkEvaluation(
+        name=workload.name,
+        single=single,
+        dual_none=dual_none,
+        dual_local=dual_local,
+        native_compile=native,
+        local_compile=rescheduled,
+        trace_length=options.trace_length,
+    )

@@ -1,0 +1,122 @@
+"""Experiment E2: Table 2 — speedup ratios per benchmark.
+
+Regenerates the paper's headline table: the percentage speedup/slowdown
+``100 - 100 * C_dual / C_single`` for each SPEC92 stand-in when (column 2,
+"none") the native binary runs on the dual-cluster machine, and (column 3,
+"local") the local-scheduler-rescheduled binary runs on it.
+
+Paper reference values (8-way machines)::
+
+    benchmark   none   local
+    compress    -14     +6
+    doduc       -21    -15
+    gcc1        -15    -10
+    ora          -5    -22
+    su2cor      -36    -25
+    tomcatv     -41    -19
+
+Absolute agreement is not expected (synthetic workloads, reconstructed
+machine); the reproduction targets the table's *shape* — see
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.experiments.harness import (
+    BenchmarkEvaluation,
+    EvaluationOptions,
+    evaluate_workload,
+)
+from repro.workloads.spec92 import PAPER_TABLE2, SPEC92
+
+
+@dataclass
+class Table2Row:
+    """One benchmark's entry, with the paper's values for reference."""
+
+    benchmark: str
+    pct_none: float
+    pct_local: float
+    paper_none: Optional[int]
+    paper_local: Optional[int]
+    evaluation: BenchmarkEvaluation = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+@dataclass
+class Table2Result:
+    rows: list[Table2Row]
+
+    def row(self, benchmark: str) -> Table2Row:
+        for r in self.rows:
+            if r.benchmark == benchmark:
+                return r
+        raise KeyError(benchmark)
+
+
+def run_table2(
+    benchmarks: Optional[Iterable[str]] = None,
+    options: Optional[EvaluationOptions] = None,
+) -> Table2Result:
+    """Run the Table 2 experiment over the selected benchmarks."""
+    names = list(benchmarks) if benchmarks is not None else sorted(SPEC92)
+    rows: list[Table2Row] = []
+    for name in names:
+        workload = SPEC92[name]()
+        evaluation = evaluate_workload(workload, options)
+        paper = PAPER_TABLE2.get(name)
+        rows.append(
+            Table2Row(
+                benchmark=name,
+                pct_none=evaluation.pct_none,
+                pct_local=evaluation.pct_local,
+                paper_none=paper[0] if paper else None,
+                paper_local=paper[1] if paper else None,
+                evaluation=evaluation,
+            )
+        )
+    return Table2Result(rows)
+
+
+def format_table2(result: Table2Result, detailed: bool = False) -> str:
+    """Paper-style rendering of the Table 2 reproduction."""
+    lines = [
+        "Table 2: speedup ratios 100 - 100*(C_dual/C_single)  [positive = speedup]",
+        f"{'benchmark':<10} {'none':>8} {'local':>8}   {'paper none':>10} {'paper local':>11}",
+    ]
+    for row in result.rows:
+        paper_none = f"{row.paper_none:+d}" if row.paper_none is not None else "n/a"
+        paper_local = f"{row.paper_local:+d}" if row.paper_local is not None else "n/a"
+        lines.append(
+            f"{row.benchmark:<10} {row.pct_none:+8.1f} {row.pct_local:+8.1f}   "
+            f"{paper_none:>10} {paper_local:>11}"
+        )
+    if detailed:
+        lines.append("")
+        lines.append(
+            f"{'benchmark':<10} {'1-clu cyc':>10} {'none cyc':>10} {'local cyc':>10} "
+            f"{'dual% none':>10} {'dual% local':>11} {'replays n/l':>11} {'br acc':>7} {'d$ miss':>8}"
+        )
+        for row in result.rows:
+            ev = row.evaluation
+            lines.append(
+                f"{row.benchmark:<10} {ev.single.cycles:>10} {ev.dual_none.cycles:>10} "
+                f"{ev.dual_local.cycles:>10} "
+                f"{100 * ev.dual_none.stats.dual_fraction:>9.1f}% "
+                f"{100 * ev.dual_local.stats.dual_fraction:>10.1f}% "
+                f"{ev.dual_none.stats.replay_exceptions:>5}/{ev.dual_local.stats.replay_exceptions:<5} "
+                f"{100 * ev.single.stats.branch_accuracy:>6.1f}% "
+                f"{100 * ev.single.stats.dcache_miss_rate:>7.1f}%"
+            )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run_table2()
+    print(format_table2(result, detailed=True))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,86 @@
+"""Basic blocks: straight-line instruction sequences with one entry/exit."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.ir.instructions import ILInstruction
+
+
+class BasicBlock:
+    """A basic block of IL instructions.
+
+    Attributes:
+        label: unique name within the program.
+        instructions: the block body.  At most the final instruction may be
+            control flow.
+        succ_labels: labels of successor blocks in CFG order.  For a block
+            ending in a conditional branch the order is
+            ``[taken_target, fallthrough]``.
+        edge_probs: probability of following each successor edge; used by
+            the profiler and the trace generator.  Values sum to 1 when the
+            block has successors.
+        profile_count: estimated executions of the block's first
+            instruction — the sort key of the local scheduler (Section 3.5).
+            Populated by profiling; ``0`` until then.
+    """
+
+    def __init__(self, label: str, instructions: Optional[list[ILInstruction]] = None) -> None:
+        self.label = label
+        self.instructions: list[ILInstruction] = list(instructions or [])
+        self.succ_labels: list[str] = []
+        self.edge_probs: dict[str, float] = {}
+        self.profile_count: int = 0
+
+    @property
+    def terminator(self) -> Optional[ILInstruction]:
+        """The final control-flow instruction, if any."""
+        if self.instructions and self.instructions[-1].opcode.is_control:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> list[ILInstruction]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return self.instructions
+
+    def add(self, instr: ILInstruction) -> ILInstruction:
+        """Append an instruction, enforcing that a terminator stays last."""
+        if self.terminator is not None:
+            raise ValueError(f"block {self.label} already terminated")
+        self.instructions.append(instr)
+        return instr
+
+    def set_successors(self, labels: list[str], probs: Optional[list[float]] = None) -> None:
+        """Define the successor edges and their probabilities."""
+        self.succ_labels = list(labels)
+        if probs is None:
+            probs = [1.0 / len(labels)] * len(labels) if labels else []
+        if len(probs) != len(labels):
+            raise ValueError("probs must match labels")
+        total = sum(probs)
+        if labels and abs(total - 1.0) > 1e-6:
+            raise ValueError(f"edge probabilities sum to {total}, expected 1")
+        self.edge_probs = dict(zip(labels, probs))
+
+    def __iter__(self) -> Iterator[ILInstruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label}: {len(self.instructions)} instrs>"
+
+    def format(self) -> str:
+        """Multi-line rendering of the block."""
+        lines = [f"{self.label}:  (count={self.profile_count})"]
+        lines.extend(f"  {i.format()}" for i in self.instructions)
+        if self.succ_labels:
+            edges = ", ".join(
+                f"{lbl} (p={self.edge_probs.get(lbl, 0):.2f})" for lbl in self.succ_labels
+            )
+            lines.append(f"  => {edges}")
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""IL instructions: opcodes applied to IL values.
+
+IL instructions map one-to-one onto machine instructions (Section 3.1,
+step 2); the only difference is that operands are
+:class:`~repro.ir.values.ILValue` virtual registers instead of architectural
+registers.
+
+Two optional annotations ride along for the trace generator (the stand-in
+for the paper's ATOM instrumentation):
+
+* ``mem_stream`` — the name of the synthetic address stream a load/store
+  draws effective addresses from;
+* ``branch_model`` — the name of the branch-behaviour model that decides a
+  conditional branch's dynamic direction.
+
+Compiler passes must preserve both annotations when they rewrite
+instructions; :meth:`ILInstruction.replace` does so automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.opcodes import InstrClass, Opcode
+from repro.ir.values import ILValue
+
+
+class ILInstruction:
+    """One IL instruction.
+
+    Attributes:
+        opcode: the operation (shared with the machine level).
+        dest: value defined, or ``None`` (stores, branches).
+        srcs: values read.  For stores ``(value, base)``; for loads
+            ``(base,)``.
+        imm: optional immediate (cosmetic).
+        target: for control flow, the label of the taken-successor block.
+        uid: dense static id, assigned by the program layout; stable across
+            compiler passes that do not create instructions.
+        mem_stream: trace-generation annotation, see module docstring.
+        branch_model: trace-generation annotation, see module docstring.
+    """
+
+    __slots__ = ("opcode", "dest", "srcs", "imm", "target", "uid", "mem_stream", "branch_model")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dest: Optional[ILValue] = None,
+        srcs: tuple[ILValue, ...] = (),
+        imm: Optional[int] = None,
+        target: Optional[str] = None,
+        uid: int = -1,
+        mem_stream: Optional[str] = None,
+        branch_model: Optional[str] = None,
+    ) -> None:
+        self.opcode = opcode
+        self.dest = dest
+        self.srcs = tuple(srcs)
+        self.imm = imm
+        self.target = target
+        self.uid = uid
+        self.mem_stream = mem_stream
+        self.branch_model = branch_model
+
+    @property
+    def iclass(self) -> InstrClass:
+        return self.opcode.iclass
+
+    def values(self) -> tuple[ILValue, ...]:
+        """All values named by the instruction (sources then destination)."""
+        if self.dest is not None:
+            return self.srcs + (self.dest,)
+        return self.srcs
+
+    def replace(
+        self,
+        dest: Optional[ILValue] = None,
+        srcs: Optional[tuple[ILValue, ...]] = None,
+        opcode: Optional[Opcode] = None,
+    ) -> "ILInstruction":
+        """A copy with some operands replaced; annotations are preserved."""
+        return ILInstruction(
+            opcode=opcode if opcode is not None else self.opcode,
+            dest=dest if dest is not None else self.dest,
+            srcs=tuple(srcs) if srcs is not None else self.srcs,
+            imm=self.imm,
+            target=self.target,
+            uid=self.uid,
+            mem_stream=self.mem_stream,
+            branch_model=self.branch_model,
+        )
+
+    def format(self) -> str:
+        """Readable rendering, e.g. ``addq %a, %b -> %c``."""
+        parts = [self.opcode.mnemonic]
+        operands = [repr(v) for v in self.srcs]
+        if self.imm is not None:
+            operands.append(f"#{self.imm}")
+        if operands:
+            parts.append(" " + ", ".join(operands))
+        if self.dest is not None:
+            parts.append(f" -> {self.dest!r}")
+        if self.target is not None:
+            parts.append(f" @{self.target}")
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<IL#{self.uid} {self.format()}>"

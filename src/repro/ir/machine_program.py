@@ -1,0 +1,126 @@
+"""Machine programs: the final, register-allocated code schedule.
+
+A :class:`MachineProgram` mirrors the IL program's CFG but holds
+:class:`~repro.isa.instructions.MachineInstruction` objects (architectural
+registers, not live ranges) — the "rescheduled binary" of Section 4.  Each
+machine instruction carries a :class:`MachineInstrMeta` record preserving
+the trace-generation annotations of the IL instruction it was lowered from,
+plus a synthetic PC used by the branch predictor and instruction cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.isa.instructions import MachineInstruction
+
+#: Byte distance between consecutive instruction PCs (Alpha-style).
+INSTRUCTION_BYTES = 4
+
+
+@dataclass
+class MachineInstrMeta:
+    """Sidecar data for one machine instruction.
+
+    Attributes:
+        il_uid: uid of the IL instruction this lowered from; ``-1`` for
+            compiler-inserted code (spills, copies).
+        mem_stream: address-stream annotation for loads/stores.
+        branch_model: behaviour-model annotation for conditional branches.
+        pc: synthetic program counter (assigned by
+            :meth:`MachineProgram.assign_pcs`).
+        is_spill: True for spill loads/stores inserted by the allocator.
+    """
+
+    il_uid: int = -1
+    mem_stream: Optional[str] = None
+    branch_model: Optional[str] = None
+    pc: int = 0
+    is_spill: bool = False
+
+
+class MachineBlock:
+    """A basic block of machine instructions."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.instructions: list[MachineInstruction] = []
+        self.meta: list[MachineInstrMeta] = []
+        self.succ_labels: list[str] = []
+        self.edge_probs: dict[str, float] = {}
+        self.profile_count: int = 0
+
+    def add(self, instr: MachineInstruction, meta: Optional[MachineInstrMeta] = None) -> None:
+        self.instructions.append(instr)
+        self.meta.append(meta or MachineInstrMeta())
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[MachineInstruction]:
+        return iter(self.instructions)
+
+    def format(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {i.format()}" for i in self.instructions)
+        return "\n".join(lines)
+
+
+class MachineProgram:
+    """The register-allocated program consumed by the trace generator."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._blocks: dict[str, MachineBlock] = {}
+        self._order: list[str] = []
+        self.entry_label: Optional[str] = None
+
+    def add_block(self, label: str) -> MachineBlock:
+        if label in self._blocks:
+            raise ValueError(f"duplicate block label: {label}")
+        blk = MachineBlock(label)
+        self._blocks[label] = blk
+        self._order.append(label)
+        if self.entry_label is None:
+            self.entry_label = label
+        return blk
+
+    def block(self, label: str) -> MachineBlock:
+        return self._blocks[label]
+
+    @property
+    def entry(self) -> MachineBlock:
+        if self.entry_label is None:
+            raise ValueError("empty program")
+        return self._blocks[self.entry_label]
+
+    def blocks(self) -> Iterator[MachineBlock]:
+        for label in self._order:
+            yield self._blocks[label]
+
+    def labels(self) -> list[str]:
+        return list(self._order)
+
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.blocks())
+
+    def all_instructions(self) -> Iterator[tuple[MachineInstruction, MachineInstrMeta]]:
+        for block in self.blocks():
+            yield from zip(block.instructions, block.meta)
+
+    def assign_pcs(self, base: int = 0x1000) -> None:
+        """Assign uids and synthetic PCs to all instructions in layout order."""
+        pc = base
+        uid = 0
+        for block in self.blocks():
+            for i, instr in enumerate(block.instructions):
+                block.instructions[i] = instr.with_uid(uid)
+                block.meta[i].pc = pc
+                uid += 1
+                pc += INSTRUCTION_BYTES
+
+    def format(self) -> str:
+        parts = [f"machine program {self.name}"]
+        parts.extend(block.format() for block in self.blocks())
+        return "\n".join(parts)

@@ -1,0 +1,57 @@
+"""IL values (virtual registers).
+
+Section 3.1 (step 2): "the IL instructions correspond one-to-one to the
+machine-level instructions of the processor, but unlike the machine-level
+instructions, the IL instructions name live ranges and not registers."
+
+An :class:`ILValue` is a named virtual register.  The compiler's web
+construction pass (:mod:`repro.compiler.webs`) refines values into
+:class:`~repro.ir.live_range.LiveRange` objects — one per connected group of
+definitions and uses — which are the unit the partitioner and the register
+allocator operate on.  For straight-line generated code each value usually
+forms exactly one web.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import RegisterClass
+
+
+class ILValue:
+    """A virtual register in the intermediate language.
+
+    Attributes:
+        vid: dense id, unique within a program.
+        name: human-readable name (``"A"``, ``"t17"``, ``"SP"`` ...).
+        rclass: integer or floating-point.
+        is_stack_pointer / is_global_pointer: marks the two values whose
+            live ranges Section 3.1 (step 3) designates as global-register
+            candidates.
+    """
+
+    __slots__ = ("vid", "name", "rclass", "is_stack_pointer", "is_global_pointer")
+
+    def __init__(
+        self,
+        vid: int,
+        name: str,
+        rclass: RegisterClass = RegisterClass.INT,
+        is_stack_pointer: bool = False,
+        is_global_pointer: bool = False,
+    ) -> None:
+        self.vid = vid
+        self.name = name
+        self.rclass = rclass
+        self.is_stack_pointer = is_stack_pointer
+        self.is_global_pointer = is_global_pointer
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+    def __hash__(self) -> int:
+        return self.vid
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ILValue):
+            return self.vid == other.vid
+        return NotImplemented

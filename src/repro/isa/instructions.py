@@ -1,0 +1,104 @@
+"""Machine-level instructions: opcodes applied to architectural registers.
+
+A :class:`MachineInstruction` is the post-register-allocation form of an
+instruction — it names architectural :class:`~repro.isa.registers.Register`
+objects, exactly the information the multicluster hardware uses to decide
+instruction distribution (Section 2.1: "The distribution of instructions to
+the clusters is based on the registers named by each instruction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.opcodes import InstrClass, Opcode
+from repro.isa.registers import Register
+
+
+@dataclass(frozen=True)
+class MachineInstruction:
+    """One machine instruction over architectural registers.
+
+    Attributes:
+        opcode: the operation.
+        dest: destination register, or ``None`` (stores, branches).  A
+            destination of ``r31``/``f31`` is normalized to ``None`` by
+            :meth:`effective_dest` consumers since writes to the zero
+            register are discarded.
+        srcs: source registers read by the instruction.  For stores this
+            includes both the value register and the base-address register;
+            for loads the base-address register.
+        imm: optional immediate/displacement (cosmetic; dependences and
+            timing never consult it).
+        target: for control flow, the label of the target basic block.
+        uid: dense static id, assigned when a program is laid out; ``-1``
+            for free-standing instructions.
+    """
+
+    opcode: Opcode
+    dest: Optional[Register] = None
+    srcs: tuple[Register, ...] = ()
+    imm: Optional[int] = None
+    target: Optional[str] = None
+    uid: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.srcs, tuple):
+            object.__setattr__(self, "srcs", tuple(self.srcs))
+
+    @property
+    def iclass(self) -> InstrClass:
+        return self.opcode.iclass
+
+    @property
+    def effective_dest(self) -> Optional[Register]:
+        """The destination register, or ``None`` if it is the zero register."""
+        if self.dest is not None and self.dest.is_zero:
+            return None
+        return self.dest
+
+    @property
+    def effective_srcs(self) -> tuple[Register, ...]:
+        """Source registers excluding zero registers (always ready)."""
+        return tuple(r for r in self.srcs if not r.is_zero)
+
+    def named_registers(self) -> tuple[Register, ...]:
+        """All architectural registers named by the instruction.
+
+        This is the set the distribution hardware examines (zero registers
+        excluded — they exist in every cluster by definition).
+        """
+        regs = list(self.effective_srcs)
+        dest = self.effective_dest
+        if dest is not None:
+            regs.append(dest)
+        return tuple(regs)
+
+    def with_uid(self, uid: int) -> "MachineInstruction":
+        """A copy of this instruction with its static id set."""
+        return MachineInstruction(
+            opcode=self.opcode,
+            dest=self.dest,
+            srcs=self.srcs,
+            imm=self.imm,
+            target=self.target,
+            uid=uid,
+        )
+
+    def format(self) -> str:
+        """Assembly-style rendering, e.g. ``addq r1, r2 -> r3``."""
+        parts = [self.opcode.mnemonic]
+        operands = [r.name for r in self.srcs]
+        if self.imm is not None:
+            operands.append(f"#{self.imm}")
+        if operands:
+            parts.append(" " + ", ".join(operands))
+        if self.dest is not None:
+            parts.append(f" -> {self.dest.name}")
+        if self.target is not None:
+            parts.append(f" @{self.target}")
+        return "".join(parts)
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,148 @@
+"""Opcodes and instruction classes of the Alpha-flavoured ISA.
+
+The paper's Table 1 divides instructions into the classes that govern issue
+limits and functional-unit latencies: *integer multiply*, *integer other*,
+*floating-point divide*, *floating-point other*, *loads & stores*, and
+*control flow*.  The opcode set below is a practical Alpha-like subset that
+covers every class; the simulator keys all issue rules and latencies off
+:class:`InstrClass`, so the exact opcode spelling is cosmetic.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InstrClass(enum.Enum):
+    """Instruction classes used by Table 1's issue rules and latencies."""
+
+    INT_MULTIPLY = "int_multiply"
+    INT_OTHER = "int_other"
+    FP_DIVIDE = "fp_divide"
+    FP_OTHER = "fp_other"
+    LOAD = "load"
+    STORE = "store"
+    CONTROL = "control"
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (InstrClass.INT_MULTIPLY, InstrClass.INT_OTHER)
+
+    @property
+    def is_fp(self) -> bool:
+        return self in (InstrClass.FP_DIVIDE, InstrClass.FP_OTHER)
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (InstrClass.LOAD, InstrClass.STORE)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InstrClass.{self.name}"
+
+
+class Opcode(enum.Enum):
+    """Alpha-flavoured opcodes.
+
+    The value tuple is ``(mnemonic, instruction class)``.
+    """
+
+    # --- integer arithmetic / logic (class: INT_OTHER) -------------------
+    ADDQ = ("addq", InstrClass.INT_OTHER)
+    SUBQ = ("subq", InstrClass.INT_OTHER)
+    AND = ("and", InstrClass.INT_OTHER)
+    BIS = ("bis", InstrClass.INT_OTHER)  # logical OR; also the canonical move
+    XOR = ("xor", InstrClass.INT_OTHER)
+    SLL = ("sll", InstrClass.INT_OTHER)
+    SRL = ("srl", InstrClass.INT_OTHER)
+    SRA = ("sra", InstrClass.INT_OTHER)
+    CMPEQ = ("cmpeq", InstrClass.INT_OTHER)
+    CMPLT = ("cmplt", InstrClass.INT_OTHER)
+    CMPLE = ("cmple", InstrClass.INT_OTHER)
+    LDA = ("lda", InstrClass.INT_OTHER)  # load address (add immediate)
+    S4ADDQ = ("s4addq", InstrClass.INT_OTHER)  # scaled add (addressing)
+    S8ADDQ = ("s8addq", InstrClass.INT_OTHER)
+
+    # --- integer multiply (class: INT_MULTIPLY) --------------------------
+    MULQ = ("mulq", InstrClass.INT_MULTIPLY)
+    UMULH = ("umulh", InstrClass.INT_MULTIPLY)
+
+    # --- floating point (class: FP_OTHER) --------------------------------
+    ADDT = ("addt", InstrClass.FP_OTHER)
+    SUBT = ("subt", InstrClass.FP_OTHER)
+    MULT = ("mult", InstrClass.FP_OTHER)
+    CPYS = ("cpys", InstrClass.FP_OTHER)  # copy sign; canonical FP move
+    CMPTEQ = ("cmpteq", InstrClass.FP_OTHER)
+    CMPTLT = ("cmptlt", InstrClass.FP_OTHER)
+    CVTQT = ("cvtqt", InstrClass.FP_OTHER)  # int -> fp convert
+    CVTTQ = ("cvttq", InstrClass.FP_OTHER)  # fp -> int convert
+    SQRTT = ("sqrtt", InstrClass.FP_OTHER)
+
+    # --- floating point divide (class: FP_DIVIDE) ------------------------
+    DIVS = ("divs", InstrClass.FP_DIVIDE)  # 32-bit divide: 8-cycle latency
+    DIVT = ("divt", InstrClass.FP_DIVIDE)  # 64-bit divide: 16-cycle latency
+
+    # --- memory (classes: LOAD / STORE) -----------------------------------
+    LDQ = ("ldq", InstrClass.LOAD)
+    LDL = ("ldl", InstrClass.LOAD)
+    LDT = ("ldt", InstrClass.LOAD)  # FP load
+    LDS = ("lds", InstrClass.LOAD)
+    STQ = ("stq", InstrClass.STORE)
+    STL = ("stl", InstrClass.STORE)
+    STT = ("stt", InstrClass.STORE)  # FP store
+    STS = ("sts", InstrClass.STORE)
+
+    # --- control flow (class: CONTROL) ------------------------------------
+    BR = ("br", InstrClass.CONTROL)  # unconditional branch
+    BEQ = ("beq", InstrClass.CONTROL)
+    BNE = ("bne", InstrClass.CONTROL)
+    BLT = ("blt", InstrClass.CONTROL)
+    BGE = ("bge", InstrClass.CONTROL)
+    FBEQ = ("fbeq", InstrClass.CONTROL)  # FP conditional branch
+    FBNE = ("fbne", InstrClass.CONTROL)
+    JSR = ("jsr", InstrClass.CONTROL)
+    RET = ("ret", InstrClass.CONTROL)
+    JMP = ("jmp", InstrClass.CONTROL)
+
+    def __init__(self, mnemonic: str, iclass: InstrClass) -> None:
+        self.mnemonic = mnemonic
+        self.iclass = iclass
+
+    @property
+    def is_load(self) -> bool:
+        return self.iclass is InstrClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.iclass is InstrClass.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.iclass.is_memory
+
+    @property
+    def is_control(self) -> bool:
+        return self.iclass is InstrClass.CONTROL
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self in _CONDITIONAL_BRANCHES
+
+    @property
+    def is_unconditional(self) -> bool:
+        return self in (Opcode.BR, Opcode.JSR, Opcode.RET, Opcode.JMP)
+
+    @property
+    def writes_fp(self) -> bool:
+        """Whether the destination register (if any) is floating point."""
+        return self.iclass.is_fp or self in (Opcode.LDT, Opcode.LDS)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Opcode.{self.name}"
+
+
+_CONDITIONAL_BRANCHES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.FBEQ, Opcode.FBNE}
+)
+
+#: Opcodes usable as a register-to-register move, per class.
+MOVE_OPCODES = {"int": Opcode.BIS, "fp": Opcode.CPYS}

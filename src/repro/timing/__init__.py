@@ -1,0 +1,41 @@
+"""Cycle-time delay models and run-time analysis (Section 4.2 / Section 5)."""
+
+from repro.timing.analysis import (
+    NetPerformance,
+    available_clock_reduction,
+    break_even_clock_reduction,
+    format_cycle_time_report,
+    net_performance,
+)
+from repro.timing.palacharla import (
+    DelayBreakdown,
+    MachineShape,
+    TECH_018,
+    TECH_035,
+    TECH_080,
+    TECHNOLOGIES,
+    Technology,
+    calibrated_technologies,
+    cycle_time,
+    delay_breakdown,
+    width_penalty,
+)
+
+__all__ = [
+    "NetPerformance",
+    "available_clock_reduction",
+    "break_even_clock_reduction",
+    "format_cycle_time_report",
+    "net_performance",
+    "DelayBreakdown",
+    "MachineShape",
+    "TECH_018",
+    "TECH_035",
+    "TECH_080",
+    "TECHNOLOGIES",
+    "Technology",
+    "calibrated_technologies",
+    "cycle_time",
+    "delay_breakdown",
+    "width_penalty",
+]

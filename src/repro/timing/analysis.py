@@ -1,0 +1,110 @@
+"""Cycle-time analysis: turning cycle counts into run-time conclusions.
+
+Implements the arithmetic of Section 4.2's closing paragraphs and
+Section 5: a multicluster processor wins overall when its clock-period
+advantage outweighs its cycle-count penalty,
+
+    run_time = cycles * clock_period
+    dual wins  <=>  T_dual / T_single  <  C_single / C_dual.
+
+The paper's worked example: a worst-case 25 % cycle slowdown is paid off
+by a clock period 20 % smaller (1/1.25).  Palacharla et al. give the
+available clock advantage of a 4-issue cluster over an 8-issue monolith:
+18 % at 0.35 µm (insufficient) and 82 %... more precisely, the 8-issue
+cycle *time* is 1.18x / 1.82x the 4-issue one, so the available period
+reduction is 1 - 1/1.18 = 15 % at 0.35 µm and 1 - 1/1.82 = 45 % at
+0.18 µm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timing.palacharla import (
+    MachineShape,
+    TECHNOLOGIES,
+    Technology,
+    cycle_time,
+    width_penalty,
+)
+
+
+def break_even_clock_reduction(slowdown_pct: float) -> float:
+    """Clock-period reduction (%) needed to pay for a cycle slowdown.
+
+    ``slowdown_pct`` is the Table 2 magnitude (e.g. 25 for a 25 % increase
+    in cycles).  A 25 % slowdown needs a 20 % smaller period:
+    ``100 * (1 - 1 / 1.25)``.
+    """
+    ratio = 1.0 + slowdown_pct / 100.0
+    return 100.0 * (1.0 - 1.0 / ratio)
+
+
+def available_clock_reduction(tech: Technology) -> float:
+    """Clock-period reduction (%) a 4-issue cluster enjoys over an 8-issue
+    monolith in ``tech``, per the delay model."""
+    penalty = width_penalty(tech)  # T8 = T4 * (1 + penalty)
+    return 100.0 * (1.0 - 1.0 / (1.0 + penalty))
+
+
+@dataclass
+class NetPerformance:
+    """Net multicluster outcome for one benchmark in one technology."""
+
+    benchmark: str
+    technology: str
+    cycle_ratio: float  # C_dual / C_single (>1 = more cycles)
+    clock_ratio: float  # T_dual / T_single (<1 = faster clock)
+
+    @property
+    def runtime_ratio(self) -> float:
+        """run_time_dual / run_time_single; < 1 means the dual wins."""
+        return self.cycle_ratio * self.clock_ratio
+
+    @property
+    def net_speedup_pct(self) -> float:
+        return 100.0 * (1.0 / self.runtime_ratio - 1.0)
+
+
+def net_performance(
+    benchmark: str,
+    single_cycles: int,
+    dual_cycles: int,
+    tech: Technology,
+    single_shape: MachineShape | None = None,
+    dual_shape: MachineShape | None = None,
+) -> NetPerformance:
+    """Combine simulated cycle counts with modelled clock periods."""
+    single_shape = single_shape or MachineShape.eight_issue()
+    dual_shape = dual_shape or MachineShape.four_issue()
+    t_single = cycle_time(single_shape, tech)
+    t_dual = cycle_time(dual_shape, tech)
+    return NetPerformance(
+        benchmark=benchmark,
+        technology=tech.name,
+        cycle_ratio=dual_cycles / single_cycles,
+        clock_ratio=t_dual / t_single,
+    )
+
+
+def format_cycle_time_report() -> str:
+    """The Section 4.2/5 headline numbers from the calibrated model."""
+    lines = [
+        "Palacharla-style cycle-time model (calibrated to the published anchors)",
+        f"{'technology':<10} {'T(4-issue)':>11} {'T(8-issue)':>11} {'penalty':>8} "
+        f"{'avail. clock reduction':>23}",
+    ]
+    for name in ("0.8um", "0.35um", "0.18um"):
+        tech = TECHNOLOGIES[name]
+        t4 = cycle_time(MachineShape.four_issue(), tech)
+        t8 = cycle_time(MachineShape.eight_issue(), tech)
+        lines.append(
+            f"{name:<10} {t4:>9.0f}ps {t8:>9.0f}ps {100 * (t8 / t4 - 1):>7.0f}% "
+            f"{available_clock_reduction(tech):>22.1f}%"
+        )
+    lines.append("")
+    lines.append(
+        "break-even: a 25% worst-case cycle slowdown (Table 2, local scheduler) "
+        f"needs a {break_even_clock_reduction(25.0):.0f}% smaller clock period"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Cycle-level microarchitecture model (Section 4.1's machines)."""
+
+from repro.uarch.branch_predictor import McFarlingPredictor, PredictorStats
+from repro.uarch.buffers import TransferBuffer
+from repro.uarch.caches import Cache, CacheStats
+from repro.uarch.config import (
+    CacheConfig,
+    ClusterConfig,
+    DUAL_ISSUE_RULES,
+    IssueRules,
+    LatencyModel,
+    PredictorConfig,
+    ProcessorConfig,
+    SINGLE_ISSUE_RULES,
+    default_assignment_for,
+    dual_cluster_2way_config,
+    dual_cluster_config,
+    single_cluster_4way_config,
+    single_cluster_config,
+    with_buffer_entries,
+)
+from repro.uarch.pipeline_view import build_rows, render_pipeline
+from repro.uarch.processor import (
+    Processor,
+    SimulationError,
+    SimulationResult,
+    simulate,
+)
+from repro.uarch.rename import ClusterRename, RenameFile
+from repro.uarch.stats import ClusterStats, SimulationStats
+from repro.uarch.uop import RobEntry, Role, Uop, UopState
+
+__all__ = [
+    "McFarlingPredictor",
+    "PredictorStats",
+    "TransferBuffer",
+    "Cache",
+    "CacheStats",
+    "CacheConfig",
+    "ClusterConfig",
+    "DUAL_ISSUE_RULES",
+    "IssueRules",
+    "LatencyModel",
+    "PredictorConfig",
+    "ProcessorConfig",
+    "SINGLE_ISSUE_RULES",
+    "default_assignment_for",
+    "dual_cluster_2way_config",
+    "dual_cluster_config",
+    "single_cluster_4way_config",
+    "single_cluster_config",
+    "with_buffer_entries",
+    "build_rows",
+    "render_pipeline",
+    "Processor",
+    "SimulationError",
+    "SimulationResult",
+    "simulate",
+    "ClusterRename",
+    "RenameFile",
+    "ClusterStats",
+    "SimulationStats",
+    "RobEntry",
+    "Role",
+    "Uop",
+    "UopState",
+]

@@ -1,0 +1,112 @@
+"""Register renaming: per-cluster map tables, free lists, and scoreboard.
+
+Section 4.1: "As instructions are inserted into a dispatch queue, the
+architectural registers named by each are renamed to the corresponding
+physical registers."  Each cluster renames only the architectural
+registers it can access (its local registers plus the globals); a global
+register therefore occupies one physical register *per cluster*
+(Section 2.1: "two physical registers are required to maintain the value
+of a global register").
+
+Physical registers are recycled at retirement: retiring an instruction
+frees the register previously mapped to its destination.  A replay
+exception unwinds mappings through the per-instruction undo log.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.isa.registers import Register, RegisterClass
+
+
+class RenameFile:
+    """Rename state for one register class within one cluster."""
+
+    def __init__(self, num_physical: int, initial_arch: Iterable[Register]) -> None:
+        self.num_physical = num_physical
+        self.mapping: dict[int, int] = {}
+        self.ready: list[bool] = [False] * num_physical
+        #: uops waiting on each physical register becoming ready.
+        self.waiters: list[list] = [[] for _ in range(num_physical)]
+        mapped = [reg for reg in initial_arch if not reg.is_zero]
+        if len(mapped) > num_physical:
+            raise ValueError("more architectural registers than physical")
+        for next_phys, reg in enumerate(mapped):
+            self.mapping[reg.uid] = next_phys
+            self.ready[next_phys] = True
+        self.free: list[int] = list(range(num_physical - 1, len(mapped) - 1, -1))
+
+    @property
+    def free_count(self) -> int:
+        return len(self.free)
+
+    def lookup(self, reg: Register) -> int:
+        """Current physical register for an architectural source."""
+        return self.mapping[reg.uid]
+
+    def allocate(self, reg: Register) -> tuple[int, Optional[int]]:
+        """Map ``reg`` to a fresh physical register.
+
+        Returns ``(new_phys, previous_phys)``; the caller records the pair
+        for undo/retirement.  Raises ``IndexError`` when the free list is
+        empty — callers must check :attr:`free_count` first.
+        """
+        phys = self.free.pop()
+        prev = self.mapping.get(reg.uid)
+        self.mapping[reg.uid] = phys
+        self.ready[phys] = False
+        self.waiters[phys].clear()
+        return phys, prev
+
+    def release(self, phys: int) -> None:
+        """Return a physical register to the free list."""
+        self.ready[phys] = False
+        self.waiters[phys].clear()
+        self.free.append(phys)
+
+    def undo(self, reg: Register, new_phys: int, prev_phys: Optional[int]) -> None:
+        """Reverse an :meth:`allocate` (replay squash)."""
+        if prev_phys is None:
+            self.mapping.pop(reg.uid, None)
+        else:
+            self.mapping[reg.uid] = prev_phys
+        self.release(new_phys)
+
+    def mark_ready(self, phys: int) -> list:
+        """Mark a physical register ready; returns the uops to wake."""
+        self.ready[phys] = True
+        woken = self.waiters[phys]
+        self.waiters[phys] = []
+        return woken
+
+
+class ClusterRename:
+    """Both register classes of one cluster."""
+
+    def __init__(
+        self,
+        int_physical: int,
+        fp_physical: int,
+        accessible: Iterable[Register],
+    ) -> None:
+        accessible = list(accessible)
+        self.files: dict[RegisterClass, RenameFile] = {
+            RegisterClass.INT: RenameFile(
+                int_physical,
+                [r for r in accessible if r.rclass is RegisterClass.INT],
+            ),
+            RegisterClass.FP: RenameFile(
+                fp_physical,
+                [r for r in accessible if r.rclass is RegisterClass.FP],
+            ),
+        }
+
+    def file_for(self, reg: Register) -> RenameFile:
+        return self.files[reg.rclass]
+
+    def can_allocate(self, int_needed: int, fp_needed: int) -> bool:
+        return (
+            self.files[RegisterClass.INT].free_count >= int_needed
+            and self.files[RegisterClass.FP].free_count >= fp_needed
+        )

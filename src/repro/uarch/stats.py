@@ -1,0 +1,117 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.distribution import Scenario
+
+
+@dataclass
+class ClusterStats:
+    """Per-cluster counters."""
+
+    issued: int = 0
+    issued_by_class: dict[str, int] = field(default_factory=dict)
+    queue_full_stalls: int = 0
+    regfile_full_stalls: int = 0
+    peak_queue_occupancy: int = 0
+
+    def note_issue(self, class_name: str) -> None:
+        self.issued += 1
+        self.issued_by_class[class_name] = self.issued_by_class.get(class_name, 0) + 1
+
+
+@dataclass
+class SimulationStats:
+    """Everything a run reports.
+
+    ``cycles`` is the paper's performance metric ("the number of
+    (simulated) clock cycles required to execute the application").
+    """
+
+    cycles: int = 0
+    instructions: int = 0
+    uops_executed: int = 0
+    dual_distributed: int = 0
+    by_scenario: dict[Scenario, int] = field(default_factory=dict)
+    clusters: list[ClusterStats] = field(default_factory=list)
+
+    # Front-end behaviour.
+    fetch_stall_cycles: int = 0
+    dispatch_stall_cycles: int = 0
+    mispredict_stall_cycles: int = 0
+
+    # Branch prediction.
+    branch_predictions: int = 0
+    branch_mispredictions: int = 0
+
+    # Caches.
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    dcache_accesses: int = 0
+    dcache_misses: int = 0
+
+    # Multicluster overheads.
+    operand_forwards: int = 0
+    result_forwards: int = 0
+    replay_exceptions: int = 0
+    replay_squashed_instructions: int = 0
+
+    # Dynamic register reassignment (Section 6 extension).
+    reassignments: int = 0
+    reassignment_stall_cycles: int = 0
+
+    # Issue-order disorder: mean |issue rank - program rank| of issued uops.
+    issue_disorder_accum: float = 0.0
+    issue_disorder_samples: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        if self.branch_predictions == 0:
+            return 1.0
+        return 1.0 - self.branch_mispredictions / self.branch_predictions
+
+    @property
+    def dcache_miss_rate(self) -> float:
+        return self.dcache_misses / self.dcache_accesses if self.dcache_accesses else 0.0
+
+    @property
+    def icache_miss_rate(self) -> float:
+        return self.icache_misses / self.icache_accesses if self.icache_accesses else 0.0
+
+    @property
+    def dual_fraction(self) -> float:
+        return self.dual_distributed / self.instructions if self.instructions else 0.0
+
+    @property
+    def issue_disorder(self) -> float:
+        if self.issue_disorder_samples == 0:
+            return 0.0
+        return self.issue_disorder_accum / self.issue_disorder_samples
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"cycles                 {self.cycles}",
+            f"instructions           {self.instructions}",
+            f"IPC                    {self.ipc:.3f}",
+            f"dual-distributed       {self.dual_distributed} ({100 * self.dual_fraction:.1f}%)",
+            f"branch accuracy        {100 * self.branch_accuracy:.2f}%",
+            f"icache miss rate       {100 * self.icache_miss_rate:.2f}%",
+            f"dcache miss rate       {100 * self.dcache_miss_rate:.2f}%",
+            f"operand forwards       {self.operand_forwards}",
+            f"result forwards        {self.result_forwards}",
+            f"replay exceptions      {self.replay_exceptions}",
+            f"issue disorder         {self.issue_disorder:.2f}",
+        ]
+        for i, c in enumerate(self.clusters):
+            lines.append(
+                f"cluster {i}: issued {c.issued}, queue-full stalls "
+                f"{c.queue_full_stalls}, regfile stalls {c.regfile_full_stalls}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Dynamic branch-direction models.
+
+Each conditional branch in a generated workload carries a
+``branch_model`` annotation naming one of these behaviours; the trace
+generator consults the model at every dynamic execution.  The menu spans
+the predictability spectrum the SPEC92 suite covers: deterministic loop
+trip counts (near-perfectly predictable by a combining predictor),
+correlated patterns (the global component learns them), and data-dependent
+Bernoulli coin flips (compress's hash hits).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+
+class BranchBehavior(abc.ABC):
+    """Decides the direction of one static conditional branch."""
+
+    @abc.abstractmethod
+    def next_taken(self, rng: random.Random) -> bool:
+        """Direction of the next dynamic execution."""
+
+    def reset(self) -> None:
+        """Return to the initial state (new trace)."""
+
+
+class BernoulliBranch(BranchBehavior):
+    """Independent coin flip: taken with probability ``p_taken``."""
+
+    def __init__(self, p_taken: float) -> None:
+        self.p_taken = p_taken
+
+    def next_taken(self, rng: random.Random) -> bool:
+        return rng.random() < self.p_taken
+
+
+class LoopBranch(BranchBehavior):
+    """Loop back-edge: taken ``trip_count - 1`` times, then falls through.
+
+    With a fixed trip count the pattern is perfectly periodic and the
+    predictor converges to one misprediction per loop exit (or none, once
+    the global history covers the period).  ``jitter`` adds +/- variation
+    to successive trip counts.
+    """
+
+    def __init__(self, trip_count: int, jitter: int = 0) -> None:
+        if trip_count < 1:
+            raise ValueError("trip_count must be >= 1")
+        self.trip_count = trip_count
+        self.jitter = jitter
+        self._remaining = -1
+
+    def next_taken(self, rng: random.Random) -> bool:
+        if self._remaining < 0:
+            trips = self.trip_count
+            if self.jitter:
+                trips = max(1, trips + rng.randint(-self.jitter, self.jitter))
+            self._remaining = trips - 1
+        if self._remaining > 0:
+            self._remaining -= 1
+            return True
+        self._remaining = -1
+        return False
+
+    def reset(self) -> None:
+        self._remaining = -1
+
+
+class PatternBranch(BranchBehavior):
+    """A repeating direction pattern like ``"TTNT"`` (correlated branches)."""
+
+    def __init__(self, pattern: str) -> None:
+        if not pattern or set(pattern) - {"T", "N"}:
+            raise ValueError("pattern must be a non-empty string of T/N")
+        self.pattern = pattern
+        self._index = 0
+
+    def next_taken(self, rng: random.Random) -> bool:
+        taken = self.pattern[self._index] == "T"
+        self._index = (self._index + 1) % len(self.pattern)
+        return taken
+
+    def reset(self) -> None:
+        self._index = 0
+
+
+class MarkovBranch(BranchBehavior):
+    """Two-state Markov chain: repeats its last direction with
+    probability ``p_repeat`` (bursty, partially predictable)."""
+
+    def __init__(self, p_repeat: float = 0.8, start_taken: bool = True) -> None:
+        self.p_repeat = p_repeat
+        self.start_taken = start_taken
+        self._last = start_taken
+
+    def next_taken(self, rng: random.Random) -> bool:
+        if rng.random() < self.p_repeat:
+            taken = self._last
+        else:
+            taken = not self._last
+        self._last = taken
+        return taken
+
+    def reset(self) -> None:
+        self._last = self.start_taken

@@ -1,0 +1,416 @@
+"""Synthetic SPEC92-like program generation.
+
+The paper evaluated six SPEC92 benchmarks compiled for the Alpha.  We
+cannot ship those binaries, so this module generates IL programs whose
+*simulation-relevant* structure is controlled: instruction mix, basic-block
+geometry, dependence-chain depth (ILP), loop nesting and trip counts,
+branch predictability, register pressure, and memory locality.  Each
+benchmark profile in :mod:`repro.workloads.spec92` is one parameterization.
+
+A generated :class:`Workload` bundles the IL program with the address
+streams and branch behaviours the trace generator needs; the annotations
+are carried by name through compilation, so the same workload drives the
+native and rescheduled binaries identically (as in the paper, where the
+same application was traced under both schedulers).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RegisterClass
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import ILProgram
+from repro.ir.values import ILValue
+from repro.workloads.address_streams import (
+    AddressStream,
+    HotColdStream,
+    RandomStream,
+    StackStream,
+    StridedStream,
+)
+from repro.workloads.branch_models import (
+    BernoulliBranch,
+    BranchBehavior,
+    LoopBranch,
+    MarkovBranch,
+    PatternBranch,
+)
+
+_INT_ALU_OPS = (
+    Opcode.ADDQ,
+    Opcode.SUBQ,
+    Opcode.AND,
+    Opcode.XOR,
+    Opcode.SLL,
+    Opcode.SRL,
+    Opcode.CMPEQ,
+    Opcode.CMPLT,
+    Opcode.S4ADDQ,
+)
+_FP_ALU_OPS = (Opcode.ADDT, Opcode.SUBT, Opcode.MULT, Opcode.CMPTLT, Opcode.CVTQT)
+
+
+@dataclass
+class ArraySpec:
+    """One memory region a workload touches.
+
+    Attributes:
+        name: stream name (referenced by generated loads/stores).
+        kind: ``"strided"``, ``"random"``, ``"hotcold"``, or ``"stack"``.
+        size: region size in bytes (drives cache behaviour).
+        stride: byte stride for strided streams.
+        fp: whether loads from this array produce floating-point values.
+        hot_fraction: for ``hotcold``, probability of the hot region.
+    """
+
+    name: str
+    kind: str = "strided"
+    size: int = 1 << 20
+    stride: int = 8
+    fp: bool = False
+    hot_fraction: float = 0.9
+
+    def build_stream(self, base: int) -> AddressStream:
+        if self.kind == "strided":
+            return StridedStream(base, self.stride, self.size)
+        if self.kind == "random":
+            return RandomStream(base, self.size)
+        if self.kind == "hotcold":
+            return HotColdStream(
+                base, hot_size=4096, cold_size=self.size, hot_fraction=self.hot_fraction
+            )
+        if self.kind == "stack":
+            return StackStream(base, frame_size=self.size)
+        raise ValueError(f"unknown array kind: {self.kind}")
+
+
+@dataclass
+class LoopSpec:
+    """One loop nest of the generated program.
+
+    Attributes:
+        body_blocks: number of straight-line blocks in the body.
+        block_size: mean static instructions per block.
+        trip_count: iterations per entry (back-edge behaviour).
+        trip_jitter: +/- variation of successive trip counts.
+        diamond_prob: probability a body block opens an if/else diamond
+            whose branch follows ``diamond_model``.
+        arrays: names of the arrays this loop touches.
+    """
+
+    body_blocks: int = 2
+    block_size: int = 8
+    trip_count: int = 50
+    trip_jitter: int = 0
+    diamond_prob: float = 0.0
+    diamond_model: str = "bernoulli"
+    diamond_taken_prob: float = 0.5
+    arrays: tuple[str, ...] = ()
+
+
+@dataclass
+class WorkloadSpec:
+    """Full parameterization of a synthetic benchmark."""
+
+    name: str
+    seed: int = 1
+    #: Fractions over {int_alu, int_mul, fp_alu, fp_div, load, store};
+    #: conditional branches come from the loop structure, not the mix.
+    mix: dict[str, float] = field(
+        default_factory=lambda: {
+            "int_alu": 0.45,
+            "int_mul": 0.02,
+            "fp_alu": 0.0,
+            "fp_div": 0.0,
+            "load": 0.35,
+            "store": 0.18,
+        }
+    )
+    loops: list[LoopSpec] = field(default_factory=list)
+    arrays: list[ArraySpec] = field(default_factory=list)
+    #: Probability an operand is the most recently defined value of its
+    #: class (1.0 = one serial chain; 0.0 = maximal ILP).
+    chain_bias: float = 0.4
+    #: Number of recently-defined values eligible as operands (register
+    #: pressure knob).
+    live_window: int = 12
+    #: Number of loop-carried accumulator values per loop (per register
+    #: class that the mix uses).
+    accumulators: int = 2
+    #: Probability an ALU result is accumulated into a loop-carried value.
+    #: This is the serialization knob: accumulations form true loop-carried
+    #: recurrences (reductions, running products, coordinate updates), so
+    #: higher values cap the ILP across iterations.
+    accumulate_prob: float = 0.15
+    #: Replicate the loop-nest section this many times with fresh blocks
+    #: (code-footprint knob: gcc-like programs get many distinct nests).
+    code_replicas: int = 1
+
+
+@dataclass
+class Workload:
+    """A generated benchmark: program + trace-generation models."""
+
+    spec: WorkloadSpec
+    program: ILProgram
+    streams: dict[str, AddressStream]
+    behaviors: dict[str, BranchBehavior]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class _Generator:
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.builder = ProgramBuilder(spec.name)
+        self.streams: dict[str, AddressStream] = {}
+        self.behaviors: dict[str, BranchBehavior] = {}
+        self._block_counter = 0
+        self._model_counter = 0
+        self._live_int: list[ILValue] = []
+        self._live_fp: list[ILValue] = []
+        self._accumulators: list[ILValue] = []
+        self._fp_accumulators: list[ILValue] = []
+        self._bases: dict[str, ILValue] = {}
+
+    # ------------------------------------------------------------- helpers
+    def _label(self, prefix: str) -> str:
+        self._block_counter += 1
+        return f"{prefix}{self._block_counter}"
+
+    def _model(self, behavior: BranchBehavior) -> str:
+        self._model_counter += 1
+        name = f"m{self._model_counter}"
+        self.behaviors[name] = behavior
+        return name
+
+    def _push_live(self, value: ILValue) -> None:
+        pool = self._live_fp if value.rclass is RegisterClass.FP else self._live_int
+        pool.append(value)
+        if len(pool) > self.spec.live_window:
+            pool.pop(0)
+
+    def _pick(self, pool: list[ILValue]) -> ILValue:
+        if self.rng.random() < self.spec.chain_bias:
+            return pool[-1]
+        return self.rng.choice(pool)
+
+    def _pick_int(self) -> ILValue:
+        return self._pick(self._live_int)
+
+    def _pick_fp(self) -> ILValue:
+        if not self._live_fp:
+            # Seed the FP pool with a conversion.
+            from repro.ir.instructions import ILInstruction
+
+            b = self.builder
+            dest = b.program.new_value(None, RegisterClass.FP)
+            b.current.add(ILInstruction(Opcode.CVTQT, dest=dest, srcs=(self._pick_int(),)))
+            self._push_live(dest)
+        return self._pick(self._live_fp)
+
+    # ------------------------------------------------------------ pipeline
+    def generate(self) -> Workload:
+        spec = self.spec
+        b = self.builder
+        b.stack_pointer_value("SP")
+        gp = b.global_pointer_value("GP")
+
+        entry = b.block("entry")
+        del entry
+        base_address = 0x0100_0000
+        for array in spec.arrays:
+            stream = array.build_stream(base_address)
+            self.streams[array.name] = stream
+            base = b.value(f"base_{array.name}")
+            # Bases are loaded through the global pointer, as compiled code
+            # loads array addresses from the GOT.
+            b.load(base, gp, stream=None, opcode=Opcode.LDQ)
+            self._bases[array.name] = base
+            base_address += max(array.size, 1 << 16) + (1 << 16)
+        seed_a = b.op(Opcode.LDA, "seed0", imm=1)
+        seed_b = b.op(Opcode.LDA, "seed1", imm=2)
+        self._live_int.extend([seed_a, seed_b])
+
+        loop_sections = []
+        for replica in range(max(spec.code_replicas, 1)):
+            for li, loop in enumerate(spec.loops):
+                loop_sections.append((f"r{replica}L{li}", loop))
+
+        for prefix, loop in loop_sections:
+            self._emit_loop(prefix, loop)
+
+        final = b.block(self._label("exit"))
+        del final
+        b.ret()
+        program = b.build()
+        return Workload(spec, program, self.streams, self.behaviors)
+
+    def _emit_loop(self, prefix: str, loop: LoopSpec) -> None:
+        b = self.builder
+        spec = self.spec
+        # Fresh accumulators per loop (loop-carried dependences).
+        pre = b.block(self._label(f"{prefix}pre"))
+        del pre
+        self._accumulators = []
+        self._fp_accumulators = []
+        uses_fp = spec.mix.get("fp_alu", 0.0) + spec.mix.get("fp_div", 0.0) > 0
+        for i in range(spec.accumulators):
+            acc = b.op(Opcode.LDA, f"{prefix}acc{i}", imm=i)
+            self._accumulators.append(acc)
+            self._push_live(acc)
+            if uses_fp:
+                from repro.ir.instructions import ILInstruction
+
+                facc = b.program.new_value(f"{prefix}facc{i}", RegisterClass.FP)
+                b.current.add(ILInstruction(Opcode.CVTQT, dest=facc, srcs=(acc,)))
+                self._fp_accumulators.append(facc)
+                self._push_live(facc)
+
+        head_label = self._label(f"{prefix}body")
+        body_labels = [head_label] + [
+            self._label(f"{prefix}body") for _ in range(loop.body_blocks - 1)
+        ]
+        exit_label = self._label(f"{prefix}post")
+
+        for bi, label in enumerate(body_labels):
+            block = b.block(label)
+            del block
+            self._emit_block_body(loop)
+            is_last = bi == len(body_labels) - 1
+            if is_last:
+                cond = self._pick_int()
+                model = self._model(LoopBranch(loop.trip_count, loop.trip_jitter))
+                b.branch(Opcode.BNE, cond, head_label, model=model)
+                b.current.set_successors(
+                    [head_label, exit_label],
+                    [1.0 - 1.0 / loop.trip_count, 1.0 / loop.trip_count],
+                )
+            elif loop.diamond_prob > 0 and self.rng.random() < loop.diamond_prob:
+                self._emit_diamond(loop, body_labels[bi + 1])
+        post = b.block(exit_label)
+        del post
+        # Drain: store the accumulators so the loop's work is observable
+        # (prevents whole-loop dead-code elimination) — compiled code
+        # writes reduction results back to memory the same way.
+        sp = b.stack_pointer_value("SP")
+        for acc in self._accumulators:
+            b.store(acc, sp, stream=None)
+            self._push_live(acc)
+        for facc in self._fp_accumulators:
+            b.store(facc, sp, stream=None, opcode=Opcode.STT)
+
+    def _emit_diamond(self, loop: LoopSpec, join_label: str) -> None:
+        """End the current block with a conditional skip of a small block."""
+        b = self.builder
+        then_label = self._label("then")
+        cond = self._pick_int()
+        if loop.diamond_model == "markov":
+            behavior: BranchBehavior = MarkovBranch(loop.diamond_taken_prob)
+        elif loop.diamond_model == "pattern":
+            behavior = PatternBranch("TTNT")
+        else:
+            behavior = BernoulliBranch(loop.diamond_taken_prob)
+        model = self._model(behavior)
+        b.branch(Opcode.BEQ, cond, join_label, model=model)
+        b.current.set_successors(
+            [join_label, then_label],
+            [loop.diamond_taken_prob, 1.0 - loop.diamond_taken_prob],
+        )
+        blk = b.block(then_label)
+        del blk
+        self._emit_block_body(loop, size_scale=0.5)
+
+    def _emit_block_body(self, loop: LoopSpec, size_scale: float = 1.0) -> None:
+        b = self.builder
+        spec = self.spec
+        rng = self.rng
+        size = max(2, int(rng.gauss(loop.block_size * size_scale, loop.block_size / 3)))
+        kinds, weights = zip(*spec.mix.items())
+        for _ in range(size):
+            kind = rng.choices(kinds, weights)[0]
+            if kind == "load" and loop.arrays:
+                array_name = rng.choice(loop.arrays)
+                array = next(a for a in spec.arrays if a.name == array_name)
+                base = self._bases[array_name]
+                opcode = Opcode.LDT if array.fp else Opcode.LDQ
+                dest = b.program.new_value(None, RegisterClass.FP if array.fp else RegisterClass.INT)
+                b.load(dest, base, imm=rng.randrange(0, 256, 8), stream=array_name, opcode=opcode)
+                self._push_live(dest)
+            elif kind == "store" and loop.arrays:
+                array_name = rng.choice(loop.arrays)
+                array = next(a for a in spec.arrays if a.name == array_name)
+                base = self._bases[array_name]
+                if array.fp and self._live_fp:
+                    b.store(self._pick_fp(), base, stream=array_name, opcode=Opcode.STT)
+                else:
+                    b.store(self._pick_int(), base, stream=array_name, opcode=Opcode.STQ)
+            elif kind == "int_mul":
+                dest = b.program.new_value(None, RegisterClass.INT)
+                from repro.ir.instructions import ILInstruction
+
+                b.current.add(
+                    ILInstruction(Opcode.MULQ, dest=dest, srcs=(self._pick_int(), self._pick_int()))
+                )
+                self._push_live(dest)
+            elif kind == "fp_div":
+                from repro.ir.instructions import ILInstruction
+
+                dest = b.program.new_value(None, RegisterClass.FP)
+                op = Opcode.DIVT if rng.random() < 0.5 else Opcode.DIVS
+                b.current.add(
+                    ILInstruction(op, dest=dest, srcs=(self._pick_fp(), self._pick_fp()))
+                )
+                self._push_live(dest)
+            elif kind == "fp_alu":
+                from repro.ir.instructions import ILInstruction
+
+                if self._fp_accumulators and rng.random() < spec.accumulate_prob:
+                    # Loop-carried FP recurrence (reduction / coordinate
+                    # update): the iteration-serializing dependence.
+                    acc = rng.choice(self._fp_accumulators)
+                    op = rng.choice((Opcode.ADDT, Opcode.MULT, Opcode.SUBT))
+                    b.current.add(
+                        ILInstruction(op, dest=acc, srcs=(acc, self._pick_fp()))
+                    )
+                    continue
+                dest = b.program.new_value(None, RegisterClass.FP)
+                op = rng.choice(_FP_ALU_OPS)
+                if op is Opcode.CVTQT:
+                    srcs = (self._pick_int(),)
+                else:
+                    srcs = (self._pick_fp(), self._pick_fp())
+                b.current.add(ILInstruction(op, dest=dest, srcs=srcs))
+                self._push_live(dest)
+            else:  # int_alu
+                from repro.ir.instructions import ILInstruction
+
+                if (
+                    self._accumulators
+                    and rng.random() < spec.accumulate_prob
+                ):
+                    acc = rng.choice(self._accumulators)
+                    b.current.add(
+                        ILInstruction(
+                            Opcode.ADDQ, dest=acc, srcs=(acc, self._pick_int())
+                        )
+                    )
+                else:
+                    dest = b.program.new_value(None, RegisterClass.INT)
+                    op = rng.choice(_INT_ALU_OPS)
+                    b.current.add(
+                        ILInstruction(op, dest=dest, srcs=(self._pick_int(), self._pick_int()))
+                    )
+                    self._push_live(dest)
+
+
+def generate_workload(spec: WorkloadSpec) -> Workload:
+    """Generate the workload described by ``spec`` (deterministic per seed)."""
+    return _Generator(spec).generate()

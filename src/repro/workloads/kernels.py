@@ -1,0 +1,170 @@
+"""Hand-written kernels: classic codes expressed directly in the IL.
+
+Where :mod:`repro.workloads.generator` produces statistically-shaped
+programs, these kernels are written instruction by instruction, the way a
+compiler front end would emit them.  They serve as documentation of the IR
+API, as fixtures with exactly known structure, and as additional
+evaluation points beyond the six SPEC92 stand-ins.
+
+* :func:`build_daxpy` — the BLAS-1 vector update ``y[i] += a * x[i]``
+  (peak-ILP streaming FP; the shape that punishes narrow clusters).
+* :func:`build_dot_product` — a reduction with a loop-carried FP chain
+  (the shape that forgives them).
+* :func:`build_string_hash` — a byte-wise multiplicative hash (serial
+  integer chain with a data-dependent early exit).
+* :func:`build_list_walk` — pointer chasing (load-to-load chains; memory
+  latency bound, indifferent to clustering).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.isa.opcodes import Opcode
+from repro.workloads.address_streams import HotColdStream, StridedStream
+from repro.workloads.branch_models import BernoulliBranch, LoopBranch
+from repro.workloads.generator import Workload, WorkloadSpec
+
+
+def _workload(name: str, program, streams, behaviors) -> Workload:
+    return Workload(WorkloadSpec(name=name), program, streams, behaviors)
+
+
+def build_daxpy(vector_length: int = 512, unroll: int = 4) -> Workload:
+    """``y[i] += a * x[i]`` with ``unroll`` independent lanes per iteration."""
+    b = ProgramBuilder("daxpy")
+    gp = b.global_pointer_value()
+    b.block("init", count=1)
+    x = b.load("xbase", gp)
+    y = b.load("ybase", gp)
+    a = b.fp_value("a")
+    b.op(Opcode.CVTQT, a, "xbase")
+    n = b.op(Opcode.LDA, "n", imm=vector_length // unroll)
+
+    b.block("body", count=vector_length // unroll)
+    for lane in range(unroll):
+        xi = b.load(f"x{lane}", x, imm=8 * lane, stream="x", opcode=Opcode.LDT)
+        yi = b.load(f"y{lane}", y, imm=8 * lane, stream="y", opcode=Opcode.LDT)
+        axi = b.op(Opcode.MULT, f"ax{lane}", a, xi)
+        yo = b.op(Opcode.ADDT, f"yo{lane}", yi, axi)
+        b.store(yo, y, imm=8 * lane, stream="y", opcode=Opcode.STT)
+    b.op(Opcode.S8ADDQ, x, x, "n")
+    b.op(Opcode.S8ADDQ, y, y, "n")
+    b.op(Opcode.SUBQ, n, n, n)  # dependence only; trip count is the model's
+    b.branch(Opcode.BNE, n, "body", model="trip")
+    b.block("exit", count=1)
+    b.ret()
+    prog = b.build()
+    prog.cfg.block("body").set_successors(
+        ["body", "exit"], [1 - unroll / vector_length, unroll / vector_length]
+    )
+    streams = {
+        "x": StridedStream(0x100000, 8, 8 * vector_length),
+        "y": StridedStream(0x200000, 8, 8 * vector_length),
+    }
+    return _workload("daxpy", prog, streams, {"trip": LoopBranch(vector_length // unroll)})
+
+
+def build_dot_product(vector_length: int = 512) -> Workload:
+    """``s += x[i] * y[i]``: the FP accumulate serializes iterations."""
+    b = ProgramBuilder("dot")
+    gp = b.global_pointer_value()
+    b.block("init", count=1)
+    x = b.load("xbase", gp)
+    y = b.load("ybase", gp)
+    s = b.fp_value("s")
+    b.op(Opcode.CVTQT, s, "xbase")
+    n = b.op(Opcode.LDA, "n", imm=vector_length)
+
+    b.block("body", count=vector_length)
+    xi = b.load("xi", x, stream="x", opcode=Opcode.LDT)
+    yi = b.load("yi", y, stream="y", opcode=Opcode.LDT)
+    p = b.op(Opcode.MULT, "p", xi, yi)
+    b.op(Opcode.ADDT, s, s, p)          # loop-carried chain
+    b.op(Opcode.SUBQ, n, n, n)
+    b.branch(Opcode.BNE, n, "body", model="trip")
+    b.block("exit", count=1)
+    sp = b.stack_pointer_value()
+    b.store(s, sp, opcode=Opcode.STT)
+    b.ret()
+    prog = b.build()
+    prog.cfg.block("body").set_successors(
+        ["body", "exit"], [1 - 1 / vector_length, 1 / vector_length]
+    )
+    streams = {
+        "x": StridedStream(0x100000, 8, 8 * vector_length),
+        "y": StridedStream(0x200000, 8, 8 * vector_length),
+    }
+    return _workload("dot", prog, streams, {"trip": LoopBranch(vector_length)})
+
+
+def build_string_hash(block_chars: int = 64) -> Workload:
+    """Byte-wise ``h = h * 31 + c`` with a terminator check each byte."""
+    b = ProgramBuilder("strhash")
+    gp = b.global_pointer_value()
+    b.block("init", count=1)
+    sbase = b.load("sbase", gp)
+    h = b.op(Opcode.LDA, "h", imm=5381)
+    thirty_one = b.op(Opcode.LDA, "c31", imm=31)
+
+    b.block("body", count=block_chars)
+    c = b.load("c", sbase, stream="text")
+    hm = b.op(Opcode.MULQ, "hm", h, thirty_one)
+    b.op(Opcode.ADDQ, h, hm, c)
+    b.op(Opcode.ADDQ, sbase, sbase, thirty_one)
+    b.branch(Opcode.BNE, c, "body", model="terminator")
+    b.block("exit", count=1)
+    sp = b.stack_pointer_value()
+    b.store(h, sp)
+    b.ret()
+    prog = b.build()
+    prog.cfg.block("body").set_successors(
+        ["body", "exit"], [1 - 1 / block_chars, 1 / block_chars]
+    )
+    streams = {"text": StridedStream(0x300000, 8, 1 << 16)}
+    return _workload(
+        "strhash", prog, streams, {"terminator": LoopBranch(block_chars)}
+    )
+
+
+def build_list_walk(nodes: int = 10_000, hot_fraction: float = 0.3) -> Workload:
+    """Pointer chasing: each load's address models the next node."""
+    b = ProgramBuilder("listwalk")
+    gp = b.global_pointer_value()
+    b.block("init", count=1)
+    node = b.load("node", gp)
+    acc = b.op(Opcode.LDA, "acc", imm=0)
+
+    b.block("body", count=nodes)
+    value = b.load("value", node, imm=8, stream="heap")
+    nxt = b.load("next", node, stream="heap")
+    b.op(Opcode.ADDQ, acc, acc, value)
+    b.op(Opcode.BIS, node, nxt)
+    b.branch(Opcode.BNE, nxt, "body", model="end")
+    b.block("exit", count=1)
+    sp = b.stack_pointer_value()
+    b.store(acc, sp)
+    b.ret()
+    prog = b.build()
+    prog.cfg.block("body").set_successors(
+        ["body", "exit"], [1 - 1 / nodes, 1 / nodes]
+    )
+    streams = {
+        "heap": HotColdStream(
+            0x400000, hot_size=1 << 14, cold_size=16 * nodes, hot_fraction=hot_fraction
+        )
+    }
+    return _workload(
+        "listwalk",
+        prog,
+        streams,
+        {"end": LoopBranch(256), "unused": BernoulliBranch(0.5)},
+    )
+
+
+#: Kernel registry, mirroring SPEC92's shape.
+KERNELS = {
+    "daxpy": build_daxpy,
+    "dot": build_dot_product,
+    "strhash": build_string_hash,
+    "listwalk": build_list_walk,
+}

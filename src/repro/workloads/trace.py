@@ -1,0 +1,63 @@
+"""Dynamic instruction traces.
+
+The paper's methodology is trace driven: ATOM instruments the (re)scheduled
+binary and the instrumented run feeds the multicluster simulator.  Our
+stand-in is a :class:`DynamicInstruction` stream produced by
+:mod:`repro.workloads.tracegen`; each record carries exactly what the
+simulator consumes — the static instruction (registers decide
+distribution), its PC (predictor/I-cache indexing), the effective address
+of memory operations, and the actual direction of conditional branches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instructions import MachineInstruction
+from repro.ir.machine_program import MachineInstrMeta
+
+
+class DynamicInstruction:
+    """One executed instruction in a trace.
+
+    ``reassign`` optionally carries a new register-to-cluster assignment
+    that takes effect *before* this instruction dispatches — the dynamic
+    reassignment mechanism the paper defers to [3] and Section 6 ("the
+    compiler could provide the hardware with hints to indicate when the
+    reassignment could be made").  The processor drains, pays the transfer
+    cost, switches maps, and resumes.
+    """
+
+    __slots__ = ("instr", "meta", "seq", "address", "taken", "reassign")
+
+    def __init__(
+        self,
+        instr: MachineInstruction,
+        meta: MachineInstrMeta,
+        seq: int,
+        address: Optional[int] = None,
+        taken: Optional[bool] = None,
+        reassign: Optional[object] = None,
+    ) -> None:
+        self.instr = instr
+        self.meta = meta
+        self.seq = seq
+        self.address = address
+        self.taken = taken
+        self.reassign = reassign
+
+    @property
+    def pc(self) -> int:
+        return self.meta.pc
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.instr.opcode.is_conditional_branch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.address is not None:
+            extra = f" @0x{self.address:x}"
+        if self.taken is not None:
+            extra += f" taken={self.taken}"
+        return f"<#{self.seq} pc=0x{self.pc:x} {self.instr.format()}{extra}>"

@@ -1,0 +1,140 @@
+"""Trace generation: walk a machine program and emit dynamic instructions.
+
+This is the reproduction's stand-in for ATOM (Section 4): where the paper
+instrumented the (re)scheduled Alpha binary and ran it, we walk the machine
+program's control-flow graph with seeded stochastic models — loop trip
+counts and branch behaviours decide the path, address streams supply
+effective addresses — and emit the same per-instruction records the
+simulator consumes.
+
+Determinism: the same (program, streams, behaviours, seed) always produces
+the same trace, so experiments and tests are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.ir.machine_program import MachineProgram
+from repro.compiler.spill import SPILL_STREAM_PREFIX
+from repro.workloads.address_streams import AddressStream, StackStream
+from repro.workloads.branch_models import BranchBehavior
+from repro.workloads.trace import DynamicInstruction
+
+#: Base address of the synthetic stack region spill slots live in.
+SPILL_BASE = 0x7FFF_0000
+#: Base address used for unannotated memory instructions.
+DEFAULT_STACK_BASE = 0x7FFE_0000
+
+
+class TraceGenerator:
+    """Generates dynamic traces from a machine program."""
+
+    def __init__(
+        self,
+        machine: MachineProgram,
+        streams: Optional[dict[str, AddressStream]] = None,
+        behaviors: Optional[dict[str, BranchBehavior]] = None,
+        seed: int = 0,
+        loop_program: bool = True,
+    ) -> None:
+        """
+        Args:
+            machine: the compiled program.
+            streams: address streams by ``mem_stream`` annotation name.
+                ``__spill<N>`` streams are built in (stack slots); memory
+                instructions with no annotation share a default stack
+                stream.
+            behaviors: branch behaviours by ``branch_model`` name;
+                conditional branches without a model follow their block's
+                edge probabilities as independent coin flips.
+            seed: RNG seed.
+            loop_program: restart from the entry block when the walk
+                reaches a block with no successors, so any requested trace
+                length can be generated from a finite program.
+        """
+        self.machine = machine
+        self.streams = dict(streams or {})
+        self.behaviors = dict(behaviors or {})
+        self.seed = seed
+        self.loop_program = loop_program
+        self._default_stream = StackStream(DEFAULT_STACK_BASE)
+
+    def generate(self, max_instructions: int) -> list[DynamicInstruction]:
+        """Produce a trace of at most ``max_instructions`` records."""
+        rng = random.Random(self.seed)
+        for stream in self.streams.values():
+            stream.reset()
+        for behavior in self.behaviors.values():
+            behavior.reset()
+
+        trace: list[DynamicInstruction] = []
+        label: Optional[str] = self.machine.entry_label
+        seq = 0
+        while label is not None and seq < max_instructions:
+            block = self.machine.block(label)
+            next_label: Optional[str] = None
+            for instr, meta in zip(block.instructions, block.meta):
+                if seq >= max_instructions:
+                    return trace
+                address = None
+                taken = None
+                opcode = instr.opcode
+                if opcode.is_memory:
+                    address = self._address_for(meta, rng)
+                elif opcode.is_conditional_branch:
+                    taken = self._direction_for(block, meta, rng)
+                    next_label = (
+                        block.succ_labels[0] if taken else self._fallthrough(block)
+                    )
+                elif opcode.is_control:
+                    taken = True
+                    if block.succ_labels:
+                        next_label = block.succ_labels[0]
+                trace.append(DynamicInstruction(instr, meta, seq, address, taken))
+                seq += 1
+            if next_label is None:
+                if block.succ_labels:
+                    next_label = self._choose_by_probability(block, rng)
+                elif self.loop_program:
+                    next_label = self.machine.entry_label
+            label = next_label
+        return trace
+
+    # ----------------------------------------------------------- internals
+    def _address_for(self, meta, rng: random.Random) -> int:
+        name = meta.mem_stream
+        if name is None:
+            return self._default_stream.next_address(rng)
+        if name.startswith(SPILL_STREAM_PREFIX):
+            slot = int(name[len(SPILL_STREAM_PREFIX):] or 0)
+            return SPILL_BASE + 8 * slot
+        stream = self.streams.get(name)
+        if stream is None:
+            return self._default_stream.next_address(rng)
+        return stream.next_address(rng)
+
+    def _direction_for(self, block, meta, rng: random.Random) -> bool:
+        model = self.behaviors.get(meta.branch_model) if meta.branch_model else None
+        if model is not None:
+            return model.next_taken(rng)
+        taken_label = block.succ_labels[0] if block.succ_labels else None
+        p_taken = block.edge_probs.get(taken_label, 0.5) if taken_label else 0.5
+        return rng.random() < p_taken
+
+    @staticmethod
+    def _fallthrough(block) -> Optional[str]:
+        if len(block.succ_labels) > 1:
+            return block.succ_labels[1]
+        return block.succ_labels[0] if block.succ_labels else None
+
+    @staticmethod
+    def _choose_by_probability(block, rng: random.Random) -> str:
+        r = rng.random()
+        cumulative = 0.0
+        for label in block.succ_labels:
+            cumulative += block.edge_probs.get(label, 0.0)
+            if r < cumulative:
+                return label
+        return block.succ_labels[-1]

@@ -1,0 +1,217 @@
+"""Tests for the conventional optimization passes."""
+
+from repro.compiler.passes import (
+    optimize_program,
+    run_constant_propagation,
+    run_copy_propagation,
+    run_cse,
+    run_dce,
+)
+from repro.ir.builder import ProgramBuilder
+from repro.isa.opcodes import Opcode
+
+
+class TestDce:
+    def test_removes_dead_alu(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "dead", imm=1)
+        b.op(Opcode.LDA, "live", imm=2)
+        b.store("live", "live")
+        prog = b.build()
+        removed = run_dce(prog)
+        assert removed == 1
+        assert all(i.dest is None or i.dest.name != "dead" for i in prog.all_instructions())
+
+    def test_removes_dead_chains_transitively(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "a", imm=1)
+        b.op(Opcode.ADDQ, "b", "a", "a")
+        b.op(Opcode.ADDQ, "c", "b", "b")  # c dead -> whole chain dead
+        prog = b.build()
+        assert run_dce(prog) == 3
+        assert prog.instruction_count() == 0
+
+    def test_keeps_stores_and_branches(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "x", imm=1)
+        b.store("x", "x")
+        b.branch(Opcode.BNE, "x", "b0")
+        prog = b.build()
+        assert run_dce(prog) == 0
+        assert prog.instruction_count() == 3
+
+    def test_keeps_values_live_across_blocks(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "x", imm=1)
+        b.block("b1")
+        b.store("x", "x")
+        prog = b.build()
+        assert run_dce(prog) == 0
+
+    def test_keeps_loads_conservatively(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "base", imm=0)
+        b.load("unused", "base")
+        b.store("base", "base")
+        prog = b.build()
+        # Loads have architectural side-effect potential; DCE keeps them.
+        counts_before = prog.instruction_count()
+        run_dce(prog)
+        assert prog.instruction_count() == counts_before
+
+
+class TestCopyProp:
+    def test_copy_source_propagated(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "x", imm=1)
+        b.op(Opcode.BIS, "y", "x")       # y = x
+        b.op(Opcode.ADDQ, "z", "y", "y")  # -> z = x + x
+        prog = b.build()
+        rewrites = run_copy_propagation(prog)
+        assert rewrites == 2
+        add = [i for i in prog.all_instructions() if i.opcode is Opcode.ADDQ][0]
+        assert all(s.name == "x" for s in add.srcs)
+
+    def test_redefinition_kills_copy(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "x", imm=1)
+        b.op(Opcode.BIS, "y", "x")
+        b.op(Opcode.LDA, "x", imm=2)      # x redefined: copy y=x dies
+        b.op(Opcode.ADDQ, "z", "y", "y")
+        prog = b.build()
+        run_copy_propagation(prog)
+        add = [i for i in prog.all_instructions() if i.opcode is Opcode.ADDQ][0]
+        assert all(s.name == "y" for s in add.srcs)
+
+    def test_transitive_copies(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "x", imm=1)
+        b.op(Opcode.BIS, "y", "x")
+        b.op(Opcode.BIS, "z", "y")
+        b.op(Opcode.ADDQ, "w", "z", "z")
+        prog = b.build()
+        run_copy_propagation(prog)
+        add = [i for i in prog.all_instructions() if i.opcode is Opcode.ADDQ][0]
+        assert all(s.name == "x" for s in add.srcs)
+
+
+class TestCse:
+    def test_redundant_computation_becomes_move(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "a", imm=1)
+        b.op(Opcode.LDA, "b", imm=2)
+        b.op(Opcode.ADDQ, "x", "a", "b")
+        b.op(Opcode.ADDQ, "y", "a", "b")  # same expression
+        prog = b.build()
+        assert run_cse(prog) == 1
+        ops = [i.opcode for i in prog.all_instructions()]
+        assert Opcode.BIS in ops
+
+    def test_redefinition_invalidates_expression(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "a", imm=1)
+        b.op(Opcode.ADDQ, "x", "a", "a")
+        b.op(Opcode.LDA, "a", imm=2)      # new version of a
+        b.op(Opcode.ADDQ, "y", "a", "a")  # NOT the same expression
+        prog = b.build()
+        assert run_cse(prog) == 0
+
+    def test_loads_never_cse(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "base", imm=0)
+        b.load("x", "base")
+        b.load("y", "base")
+        prog = b.build()
+        assert run_cse(prog) == 0
+
+
+class TestConstProp:
+    def test_folds_constant_add(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "a", imm=3)
+        b.op(Opcode.LDA, "b", imm=4)
+        b.op(Opcode.ADDQ, "c", "a", "b")
+        b.store("c", "c")
+        prog = b.build()
+        assert run_constant_propagation(prog) == 1
+        folded = [i for i in prog.all_instructions() if i.dest and i.dest.name == "c"][0]
+        assert folded.opcode is Opcode.LDA
+        assert folded.imm == 7
+
+    def test_folds_chains(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "a", imm=2)
+        b.op(Opcode.LDA, "b", imm=5)
+        b.op(Opcode.MULQ, "c", "a", "b")
+        b.op(Opcode.ADDQ, "d", "c", "c")
+        b.store("d", "d")
+        prog = b.build()
+        assert run_constant_propagation(prog) == 2
+        d = [i for i in prog.all_instructions() if i.dest and i.dest.name == "d"][0]
+        assert d.imm == 20
+
+    def test_unknown_inputs_not_folded(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "base", imm=0)
+        b.load("x", "base")
+        b.op(Opcode.ADDQ, "y", "x", "x")
+        prog = b.build()
+        assert run_constant_propagation(prog) == 0
+
+    def test_comparison_folds(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "a", imm=3)
+        b.op(Opcode.LDA, "b", imm=4)
+        b.op(Opcode.CMPLT, "c", "a", "b")
+        b.store("c", "c")
+        prog = b.build()
+        run_constant_propagation(prog)
+        c = [i for i in prog.all_instructions() if i.dest and i.dest.name == "c"][0]
+        assert c.imm == 1
+
+
+class TestPipelineOfPasses:
+    def test_optimize_program_reaches_fixpoint(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "a", imm=1)
+        b.op(Opcode.LDA, "b", imm=1)
+        b.op(Opcode.ADDQ, "x", "a", "b")
+        b.op(Opcode.ADDQ, "y", "a", "b")   # CSE -> move -> copyprop -> DCE
+        b.store("x", "x")
+        b.store("y", "x")
+        prog = b.build()
+        counts = optimize_program(prog)
+        assert counts["cse"] >= 1
+        # After optimization the redundant add is gone entirely.
+        adds = [i for i in prog.all_instructions() if i.opcode is Opcode.ADDQ]
+        assert len(adds) <= 1
+
+    def test_annotations_survive_optimization(self):
+        b = ProgramBuilder("p")
+        b.block("b0")
+        b.op(Opcode.LDA, "base", imm=0)
+        b.load("x", "base", stream="arr")
+        b.op(Opcode.LDA, "dead", imm=9)
+        b.store("x", "base", stream="arr")
+        b.branch(Opcode.BNE, "x", "b0", model="m")
+        prog = b.build()
+        optimize_program(prog)
+        streams = [i.mem_stream for i in prog.all_instructions() if i.opcode.is_memory]
+        assert streams == ["arr", "arr"]
+        assert [i.branch_model for i in prog.all_instructions() if i.opcode.is_control] == ["m"]

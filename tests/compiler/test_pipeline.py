@@ -1,0 +1,154 @@
+"""End-to-end tests for the six-step compilation pipeline."""
+
+import pytest
+
+from repro.compiler.pipeline import CompilerOptions, compile_program
+from repro.core import LocalScheduler, RegisterAssignment
+from repro.ir.builder import ProgramBuilder
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RegisterClass
+
+
+def sample_program():
+    b = ProgramBuilder("sample")
+    sp = b.stack_pointer_value()
+    b.block("entry", count=1)
+    b.op(Opcode.LDA, "n", imm=100)
+    b.op(Opcode.LDA, "acc", imm=0)
+    b.block("body", count=100)
+    b.load("x", sp, stream="arr")
+    b.op(Opcode.ADDQ, "acc", "acc", "x")
+    b.op(Opcode.SUBQ, "n", "n", imm=1)
+    b.branch(Opcode.BNE, "n", "body")
+    b.block("exit", count=1)
+    b.store("acc", sp)
+    b.ret()
+    prog = b.build()
+    prog.cfg.block("body").set_successors(["body", "exit"], [0.99, 0.01])
+    return prog
+
+
+class TestNativeCompilation:
+    def test_produces_machine_program(self):
+        result = compile_program(sample_program(), RegisterAssignment.single_cluster())
+        assert result.machine.instruction_count() > 0
+        assert result.partitioner_name == "none"
+
+    def test_annotations_preserved_into_machine_code(self):
+        result = compile_program(sample_program(), RegisterAssignment.single_cluster())
+        streams = [
+            m.mem_stream for _i, m in result.machine.all_instructions() if m.mem_stream
+        ]
+        assert "arr" in streams
+
+    def test_input_program_untouched_by_default(self):
+        prog = sample_program()
+        before = prog.format()
+        compile_program(prog, RegisterAssignment.single_cluster())
+        assert prog.format() == before
+
+    def test_sp_gets_conventional_register(self):
+        result = compile_program(sample_program(), RegisterAssignment.single_cluster())
+        sp_regs = {
+            i.srcs[-1].name
+            for i, m in result.machine.all_instructions()
+            if i.opcode.is_memory and m.mem_stream != "arr"
+        }
+        # Spill-free program: the stack pointer must be r29 or r30.
+        assert sp_regs <= {"r29", "r30"}
+
+
+class TestClusteredCompilation:
+    def test_partition_respected_in_register_parity(self):
+        assignment = RegisterAssignment.even_odd_dual()
+        result = compile_program(sample_program(), assignment, LocalScheduler())
+        # Every local int register used must obey its partition parity.
+        for lr in result.lrs:
+            if lr.global_candidate:
+                continue
+            cluster = result.allocation.cluster_of.get(lr.lrid)
+            if cluster is None:
+                continue
+            reg = result.allocation.coloring[lr.lrid]
+            assert reg.index % 2 == cluster
+
+    def test_partition_by_value_nonempty(self):
+        result = compile_program(
+            sample_program(), RegisterAssignment.even_odd_dual(), LocalScheduler()
+        )
+        assert result.partition_by_value
+        assert result.partitioner_name == "local"
+
+    def test_distribution_stats_computed(self):
+        result = compile_program(
+            sample_program(), RegisterAssignment.even_odd_dual(), LocalScheduler()
+        )
+        assert result.distribution is not None
+        assert result.distribution.total > 0
+
+    def test_same_program_both_modes_equal_instruction_counts(self):
+        prog = sample_program()
+        native = compile_program(prog, RegisterAssignment.single_cluster())
+        clustered = compile_program(
+            prog, RegisterAssignment.even_odd_dual(), LocalScheduler()
+        )
+        # No spills expected in either mode for this small program.
+        assert native.machine.instruction_count() == clustered.machine.instruction_count()
+
+
+class TestOptions:
+    def test_profile_modes(self):
+        for mode in ("analytic", "walk", "keep"):
+            result = compile_program(
+                sample_program(),
+                RegisterAssignment.single_cluster(),
+                options=CompilerOptions(profile=mode),
+            )
+            assert result.machine.instruction_count() > 0
+
+    def test_unknown_profile_mode_rejected(self):
+        with pytest.raises(ValueError):
+            compile_program(
+                sample_program(),
+                RegisterAssignment.single_cluster(),
+                options=CompilerOptions(profile="bogus"),
+            )
+
+    def test_scheduling_can_be_disabled(self):
+        options = CompilerOptions(
+            optimize=False, prepass_schedule=False, postpass_schedule=False,
+            profile="keep",
+        )
+        result = compile_program(sample_program(), RegisterAssignment.single_cluster(), options=options)
+        # Without scheduling, machine code preserves source order per block.
+        body = result.machine.block("body")
+        opcodes = [i.opcode for i in body.instructions]
+        assert opcodes == [Opcode.LDQ, Opcode.ADDQ, Opcode.SUBQ, Opcode.BNE]
+
+    def test_optimization_counts_reported(self):
+        b = ProgramBuilder("opt")
+        b.block("b0")
+        b.op(Opcode.LDA, "dead", imm=1)
+        b.op(Opcode.LDA, "x", imm=2)
+        b.store("x", "x")
+        prog = b.build()
+        result = compile_program(prog, RegisterAssignment.single_cluster())
+        assert result.optimization_counts["dce"] >= 1
+
+
+class TestLoweringErrors:
+    def test_fp_program_compiles(self):
+        b = ProgramBuilder("fp")
+        b.block("b0")
+        b.op(Opcode.LDA, "i", imm=1)
+        b.op(Opcode.CVTQT, "f", "i")
+        b.op(Opcode.ADDT, "g", "f", "f")
+        b.op(Opcode.DIVT, "h", "g", "f")
+        b.store("h", "i", opcode=Opcode.STT)
+        prog = b.build()
+        result = compile_program(prog, RegisterAssignment.even_odd_dual(), LocalScheduler())
+        fp_dests = [
+            i.dest for i, _m in result.machine.all_instructions()
+            if i.dest is not None and i.dest.rclass is RegisterClass.FP
+        ]
+        assert fp_dests

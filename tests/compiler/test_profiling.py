@@ -1,0 +1,77 @@
+"""Tests for basic-block profiling."""
+
+import pytest
+
+from repro.compiler.profiling import profile_analytically, profile_by_walk
+from repro.ir.builder import ProgramBuilder
+from repro.isa.opcodes import Opcode
+
+
+def loop_program(back_prob=0.9):
+    b = ProgramBuilder("loop")
+    b.block("pre")
+    b.op(Opcode.LDA, "acc", imm=0)
+    b.block("body")
+    b.op(Opcode.ADDQ, "acc", "acc", "acc")
+    b.branch(Opcode.BNE, "acc", "body")
+    b.block("post")
+    b.ret()
+    prog = b.build()
+    prog.cfg.block("body").set_successors(["body", "post"], [back_prob, 1 - back_prob])
+    return prog
+
+
+class TestAnalytic:
+    def test_loop_count_matches_geometric_mean(self):
+        prog = loop_program(0.9)
+        counts = profile_analytically(prog, write_counts=False)
+        # Visit count of the body = 1 / (1 - 0.9) = 10 per entry.
+        assert counts["body"] == pytest.approx(10.0, rel=1e-6)
+
+    def test_entry_count_is_one(self):
+        prog = loop_program()
+        counts = profile_analytically(prog, write_counts=False)
+        assert counts["pre"] == pytest.approx(1.0)
+
+    def test_counts_written_and_scaled(self):
+        prog = loop_program(0.5)
+        profile_analytically(prog, scale=1000.0)
+        assert prog.cfg.block("body").profile_count == pytest.approx(2000, abs=1)
+
+    def test_diamond_splits_flow(self):
+        b = ProgramBuilder("d")
+        b.block("entry")
+        b.op(Opcode.LDA, "x", imm=1)
+        b.branch(Opcode.BNE, "x", "right")
+        b.block("left")
+        b.jump("join")
+        b.block("right")
+        b.block("join")
+        b.ret()
+        prog = b.build()
+        prog.cfg.block("entry").set_successors(["right", "left"], [0.25, 0.75])
+        counts = profile_analytically(prog, write_counts=False)
+        assert counts["left"] == pytest.approx(0.75)
+        assert counts["right"] == pytest.approx(0.25)
+        assert counts["join"] == pytest.approx(1.0)
+
+
+class TestWalk:
+    def test_walk_is_deterministic_per_seed(self):
+        prog = loop_program()
+        c1 = profile_by_walk(prog, seed=5, write_counts=False)
+        c2 = profile_by_walk(prog, seed=5, write_counts=False)
+        assert c1 == c2
+
+    def test_walk_approximates_analytic(self):
+        prog = loop_program(0.8)
+        walk = profile_by_walk(prog, max_instructions=200_000, seed=3, write_counts=False)
+        analytic = profile_analytically(prog, write_counts=False)
+        ratio_walk = walk["body"] / walk["pre"]
+        ratio_analytic = analytic["body"] / analytic["pre"]
+        assert ratio_walk == pytest.approx(ratio_analytic, rel=0.15)
+
+    def test_walk_writes_counts(self):
+        prog = loop_program()
+        profile_by_walk(prog, max_instructions=10_000, seed=1)
+        assert prog.cfg.block("body").profile_count > prog.cfg.block("pre").profile_count

@@ -1,0 +1,104 @@
+"""Property-based tests over randomly generated IL programs."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.liveness import LivenessInfo
+from repro.compiler.passes import optimize_program
+from repro.compiler.webs import build_live_ranges
+from repro.ir.builder import ProgramBuilder
+from repro.isa.opcodes import Opcode
+
+_OPS = [Opcode.ADDQ, Opcode.SUBQ, Opcode.XOR, Opcode.MULQ, Opcode.CMPLT]
+
+
+def random_program(seed: int, blocks: int = 3, size: int = 8):
+    """A random multi-block program with stores anchoring liveness."""
+    rng = random.Random(seed)
+    b = ProgramBuilder(f"rand{seed}")
+    sp = b.stack_pointer_value()
+    names = ["v0"]
+    b.block("b0")
+    b.op(Opcode.LDA, "v0", imm=1)
+    for bi in range(blocks):
+        if bi:
+            b.block(f"b{bi}")
+        for i in range(size):
+            choice = rng.random()
+            if choice < 0.2:
+                name = f"v{len(names)}"
+                b.op(Opcode.LDA, name, imm=rng.randrange(64))
+                names.append(name)
+            elif choice < 0.3:
+                b.store(rng.choice(names), sp)
+            else:
+                name = f"v{len(names)}"
+                srcs = [rng.choice(names) for _ in range(2)]
+                b.op(rng.choice(_OPS), name, *srcs)
+                names.append(name)
+        if bi + 1 < blocks and rng.random() < 0.5:
+            b.branch(Opcode.BNE, rng.choice(names), f"b{bi + 1}")
+    b.store(names[-1], sp)
+    b.ret()
+    return b.build()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_property_webs_resolve_every_operand(seed):
+    """Every source/destination of every instruction maps to a live range."""
+    prog = random_program(seed)
+    lrs = build_live_ranges(prog)
+    for instr in prog.all_instructions():
+        for src in instr.srcs:
+            assert (instr.uid, src) in lrs.use_map
+        if instr.dest is not None:
+            assert (instr.uid, instr.dest) in lrs.def_map
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_property_web_references_partition_program(seed):
+    """Each (instruction, operand) reference belongs to exactly one range."""
+    prog = random_program(seed)
+    lrs = build_live_ranges(prog)
+    seen_defs = set()
+    for lr in lrs:
+        for uid in lr.def_uids:
+            key = (uid, lr.value.vid)
+            assert key not in seen_defs
+            seen_defs.add(key)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 100_000))
+def test_property_optimization_preserves_effects(seed):
+    """Optimization never drops stores or control flow, and the program
+    still renumbers densely afterwards."""
+    prog = random_program(seed)
+    stores_before = sum(1 for i in prog.all_instructions() if i.opcode.is_store)
+    branches_before = sum(1 for i in prog.all_instructions() if i.opcode.is_control)
+    optimize_program(prog)
+    stores_after = sum(1 for i in prog.all_instructions() if i.opcode.is_store)
+    branches_after = sum(1 for i in prog.all_instructions() if i.opcode.is_control)
+    assert stores_after == stores_before
+    assert branches_after == branches_before
+    uids = [i.uid for i in prog.all_instructions()]
+    assert uids == list(range(len(uids)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 100_000))
+def test_property_liveness_fixpoint(seed):
+    """live_in == use | (live_out - def) at the fixpoint, every block."""
+    prog = random_program(seed)
+    info = LivenessInfo(prog)
+    for label in prog.cfg.labels():
+        block_info = info.blocks[label]
+        expected_in = block_info.use | (block_info.live_out - block_info.defs)
+        assert block_info.live_in == expected_in
+        out = set()
+        for succ in prog.cfg.block(label).succ_labels:
+            out |= info.blocks[succ].live_in
+        assert block_info.live_out == out

@@ -1,0 +1,165 @@
+"""Tests for the Briggs-style register allocator."""
+
+import pytest
+
+from repro.compiler.pipeline import make_pool_resolver
+from repro.compiler.regalloc import (
+    AllocationError,
+    Pool,
+    allocate_registers,
+)
+from repro.core.registers import RegisterAssignment
+from repro.ir.builder import ProgramBuilder
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RegisterClass, int_reg
+
+
+def chain_program(n=5):
+    b = ProgramBuilder("chain")
+    b.block("b0")
+    b.op(Opcode.LDA, "v0", imm=0)
+    for i in range(1, n):
+        b.op(Opcode.ADDQ, f"v{i}", f"v{i-1}", f"v{i-1}")
+    b.store(f"v{n-1}", f"v{n-1}")
+    return b.build()
+
+
+def clique_program(n):
+    """n values simultaneously live (forces n registers or spills)."""
+    b = ProgramBuilder("clique")
+    b.block("b0")
+    for i in range(n):
+        b.op(Opcode.LDA, f"v{i}", imm=i)
+    prev = "v0"
+    for i in range(1, n):
+        b.op(Opcode.ADDQ, "acc", prev, f"v{i}")
+        prev = "acc"
+    return b.build()
+
+
+def oblivious(program, **kw):
+    resolver = make_pool_resolver(RegisterAssignment.single_cluster(), oblivious=True)
+    return allocate_registers(program, resolver, **kw)
+
+
+class TestBasicColoring:
+    def test_no_two_interfering_ranges_share_a_register(self):
+        prog = clique_program(8)
+        result = oblivious(prog)
+        # All 8 LDA temps are simultaneously live: their colours differ.
+        colors = set()
+        for lr in result.lrs:
+            if lr.name.startswith("v"):
+                colors.add(result.register_for(lr))
+        assert len(colors) == 8
+
+    def test_chain_reuses_registers(self):
+        prog = chain_program(10)
+        result = oblivious(prog)
+        used = {result.register_for(lr) for lr in result.lrs if not lr.global_candidate}
+        # A pure chain needs very few registers.
+        assert len(used) <= 3
+
+    def test_no_spills_for_small_programs(self):
+        result = oblivious(chain_program(6))
+        assert result.spills.total_loads == 0
+        assert result.spills.total_stores == 0
+        assert result.iterations == 1
+
+
+class TestClusteredPools:
+    def test_local_ranges_get_parity_registers(self):
+        assignment = RegisterAssignment.even_odd_dual()
+        prog = chain_program(4)
+        resolver = make_pool_resolver(assignment, oblivious=False)
+        # All ranges to cluster 1 -> odd registers.
+        cluster_by_value = {v.vid: 1 for v in prog.values}
+        result = allocate_registers(prog, resolver, cluster_by_value)
+        for lr in result.lrs:
+            if not lr.global_candidate and result.cluster_of[lr.lrid] == 1:
+                assert result.register_for(lr).index % 2 == 1
+
+    def test_other_cluster_fallback_when_pool_exhausted(self):
+        # 20 simultaneously-live ints assigned to cluster 0: cluster 0 has
+        # only 15 even registers, so some ranges must move to cluster 1.
+        assignment = RegisterAssignment.even_odd_dual()
+        prog = clique_program(20)
+        resolver = make_pool_resolver(assignment, oblivious=False)
+        cluster_by_value = {v.vid: 0 for v in prog.values}
+        result = allocate_registers(prog, resolver, cluster_by_value)
+        assert result.moved_ranges  # the multicluster spill policy engaged
+        assert result.spills.total_loads == 0  # no memory spill needed
+
+    def test_global_candidates_get_global_registers(self):
+        assignment = RegisterAssignment.even_odd_dual()
+        b = ProgramBuilder("p")
+        sp = b.stack_pointer_value()
+        b.block("b0")
+        b.load("x", sp)
+        prog = b.build()
+        resolver = make_pool_resolver(assignment, oblivious=False)
+        result = allocate_registers(prog, resolver, {})
+        sp_range = next(lr for lr in result.lrs if lr.value.is_stack_pointer)
+        assert result.register_for(sp_range) in assignment.global_registers(
+            RegisterClass.INT
+        )
+
+
+def tiny_resolver(*registers):
+    """A resolver with a tiny local pool; global candidates (the stack
+    pointer that spill code addresses through) keep their own register."""
+    from repro.isa.registers import GLOBAL_POINTER, STACK_POINTER
+
+    local = Pool("tiny", registers)
+    globals_ = Pool("globals", (STACK_POINTER, GLOBAL_POINTER))
+
+    def resolver(lr, cluster):
+        if lr.global_candidate:
+            return globals_, None
+        return local, None
+
+    return resolver
+
+
+class TestMemorySpills:
+    def test_spill_inserted_when_pool_too_small(self):
+        # Tiny two-register pool forces memory spills for a 5-clique.
+        prog = clique_program(5)
+        resolver = tiny_resolver(int_reg(0), int_reg(1))
+        result = allocate_registers(prog, resolver)
+        assert result.spills.total_stores > 0
+        assert result.spills.total_loads > 0
+        assert result.iterations > 1
+
+    def test_spilled_program_still_colors(self):
+        prog = clique_program(6)
+        tiny = (int_reg(0), int_reg(1), int_reg(2))
+        resolver = tiny_resolver(*tiny)
+        result = allocate_registers(prog, resolver)
+        # Every local range of the final iteration got a pool register.
+        for lr in result.lrs:
+            if not lr.global_candidate:
+                assert result.register_for(lr) in tiny
+
+    def test_impossible_allocation_raises(self):
+        prog = clique_program(6)
+        resolver = tiny_resolver(int_reg(0))
+        with pytest.raises(AllocationError):
+            allocate_registers(prog, resolver)
+
+
+class TestSpillCodeShape:
+    def test_spill_code_uses_spill_streams(self):
+        from repro.compiler.spill import SPILL_STREAM_PREFIX
+
+        prog = clique_program(5)
+        resolver = tiny_resolver(int_reg(0), int_reg(1))
+        allocate_registers(prog, resolver)
+        spill_ops = [
+            i
+            for i in prog.all_instructions()
+            if i.mem_stream and i.mem_stream.startswith(SPILL_STREAM_PREFIX)
+        ]
+        assert spill_ops
+        assert any(i.opcode.is_store for i in spill_ops)
+        assert any(i.opcode.is_load for i in spill_ops)

@@ -1,0 +1,116 @@
+"""Tests for the loop-unrolling pass (Section 6 future work)."""
+
+from repro.compiler.passes.unroll import (
+    find_self_loops,
+    unroll_program,
+    unroll_self_loop,
+)
+from repro.ir.builder import ProgramBuilder
+from repro.isa.opcodes import Opcode
+
+
+def self_loop_program():
+    b = ProgramBuilder("loop")
+    b.block("pre")
+    b.op(Opcode.LDA, "acc", imm=0)
+    b.op(Opcode.LDA, "x", imm=3)
+    b.block("body")
+    b.op(Opcode.ADDQ, "t", "x", "x")          # iteration-private
+    b.op(Opcode.ADDQ, "acc", "acc", "t")      # loop-carried
+    b.branch(Opcode.BNE, "acc", "body", model="m")
+    b.block("post")
+    b.store("acc", "acc")
+    b.ret()
+    return b.build()
+
+
+class TestDetection:
+    def test_self_loop_found(self):
+        assert find_self_loops(self_loop_program()) == ["body"]
+
+    def test_non_loops_ignored(self):
+        b = ProgramBuilder("p")
+        b.block("a")
+        b.op(Opcode.LDA, "x", imm=1)
+        b.block("b")
+        b.ret()
+        assert find_self_loops(b.build()) == []
+
+
+class TestUnrolling:
+    def test_body_replicated(self):
+        prog = self_loop_program()
+        before = len(prog.cfg.block("body").body)
+        assert unroll_self_loop(prog, "body", 3)
+        after = len(prog.cfg.block("body").body)
+        assert after == 3 * before
+
+    def test_single_back_edge_branch_remains(self):
+        prog = self_loop_program()
+        unroll_self_loop(prog, "body", 4)
+        branches = [
+            i for i in prog.cfg.block("body").instructions if i.opcode.is_control
+        ]
+        assert len(branches) == 1
+        assert branches[0].target == "body"
+        assert branches[0].branch_model == "m"
+
+    def test_loop_carried_values_thread_through_copies(self):
+        prog = self_loop_program()
+        unroll_self_loop(prog, "body", 2)
+        adds = [
+            i for i in prog.cfg.block("body").instructions
+            if i.opcode is Opcode.ADDQ and i.dest is not None
+        ]
+        # Copy 1's accumulate reads copy 0's accumulator definition.
+        acc_defs = [i for i in adds if "acc" in i.dest.name]
+        assert len(acc_defs) == 2
+        first, second = acc_defs
+        assert first.dest in second.srcs
+
+    def test_final_copy_writes_original_names(self):
+        prog = self_loop_program()
+        acc = prog.value_named("acc")
+        unroll_self_loop(prog, "body", 3)
+        defs = [
+            i for i in prog.cfg.block("body").instructions if i.dest is acc
+        ]
+        assert len(defs) == 1  # only the last copy writes the original
+
+    def test_uids_renumbered(self):
+        prog = self_loop_program()
+        unroll_self_loop(prog, "body", 2)
+        uids = [i.uid for i in prog.all_instructions()]
+        assert uids == list(range(len(uids)))
+
+    def test_factor_one_is_noop(self):
+        prog = self_loop_program()
+        assert not unroll_self_loop(prog, "body", 1)
+
+    def test_non_loop_block_rejected(self):
+        prog = self_loop_program()
+        assert not unroll_self_loop(prog, "pre", 2)
+
+    def test_unroll_program_counts(self):
+        prog = self_loop_program()
+        assert unroll_program(prog, 2) == 1
+
+
+class TestUnrolledCompilation:
+    def test_unrolled_program_compiles_and_runs(self):
+        from repro.compiler.pipeline import compile_program
+        from repro.core import LocalScheduler, RegisterAssignment
+        from repro.uarch import dual_cluster_config, simulate
+        from repro.workloads.branch_models import LoopBranch
+        from repro.workloads.tracegen import TraceGenerator
+
+        prog = self_loop_program()
+        unroll_program(prog, 2)
+        compiled = compile_program(
+            prog, RegisterAssignment.even_odd_dual(), LocalScheduler()
+        )
+        trace = TraceGenerator(
+            compiled.machine, {}, {"m": LoopBranch(8)}, seed=1
+        ).generate(4000)
+        result = simulate(trace, dual_cluster_config())
+        assert result.stats.instructions == 4000

@@ -1,0 +1,92 @@
+"""Tests for the affinity-graph (Kernighan-Lin) partitioner."""
+
+import pytest
+
+from repro.compiler.webs import (
+    build_live_ranges,
+    compute_spill_weights,
+    designate_global_candidates,
+)
+from repro.core.partition import AffinityPartitioner
+from repro.ir.builder import ProgramBuilder
+from repro.isa.opcodes import Opcode
+
+
+def two_community_program():
+    """Two independent computation chains: an obvious 2-way split."""
+    b = ProgramBuilder("p")
+    b.block("b0", count=10)
+    # Community A.
+    b.op(Opcode.LDA, "a0", imm=1)
+    b.op(Opcode.ADDQ, "a1", "a0", "a0")
+    b.op(Opcode.ADDQ, "a2", "a1", "a0")
+    b.op(Opcode.ADDQ, "a3", "a2", "a1")
+    b.store("a3", "a3")
+    # Community B.
+    b.op(Opcode.LDA, "b0", imm=2)
+    b.op(Opcode.ADDQ, "b1", "b0", "b0")
+    b.op(Opcode.ADDQ, "b2", "b1", "b0")
+    b.op(Opcode.ADDQ, "b3", "b2", "b1")
+    b.store("b3", "b3")
+    return b.build()
+
+
+def prepared(prog):
+    lrs = build_live_ranges(prog)
+    designate_global_candidates(lrs)
+    compute_spill_weights(prog, lrs)
+    return lrs
+
+
+class TestAffinity:
+    def test_communities_not_split(self):
+        prog = two_community_program()
+        lrs = prepared(prog)
+        partition = AffinityPartitioner().partition(prog, lrs)
+        a_side = {partition[lrs.range_named(f"a{i}").lrid] for i in range(4)}
+        b_side = {partition[lrs.range_named(f"b{i}").lrid] for i in range(4)}
+        assert len(a_side) == 1
+        assert len(b_side) == 1
+
+    def test_communities_on_opposite_sides(self):
+        prog = two_community_program()
+        lrs = prepared(prog)
+        partition = AffinityPartitioner().partition(prog, lrs)
+        a = partition[lrs.range_named("a0").lrid]
+        b = partition[lrs.range_named("b0").lrid]
+        assert a != b
+
+    def test_all_local_candidates_assigned(self):
+        prog = two_community_program()
+        lrs = prepared(prog)
+        partition = AffinityPartitioner().partition(prog, lrs)
+        assert set(partition) == {lr.lrid for lr in lrs.local_candidates()}
+
+    def test_deterministic(self):
+        prog = two_community_program()
+        lrs = prepared(prog)
+        p1 = AffinityPartitioner().partition(prog, lrs)
+        p2 = AffinityPartitioner().partition(prog, lrs)
+        assert p1 == p2
+
+    def test_only_two_way_supported(self):
+        with pytest.raises(ValueError):
+            AffinityPartitioner(num_clusters=3)
+
+    def test_empty_program(self):
+        b = ProgramBuilder("empty")
+        b.block("b0")
+        prog = b.build()
+        lrs = prepared(prog)
+        assert AffinityPartitioner().partition(prog, lrs) == {}
+
+    def test_runs_on_generated_workload(self):
+        from repro.workloads.spec92 import build_ora
+
+        workload = build_ora()
+        lrs = prepared(workload.program)
+        partition = AffinityPartitioner().partition(workload.program, lrs)
+        clusters = set(partition.values())
+        assert clusters <= {0, 1}
+        # The KL balance constraint keeps both sides populated.
+        assert len(clusters) == 2

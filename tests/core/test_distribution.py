@@ -1,0 +1,171 @@
+"""Tests for instruction-distribution planning (Section 2.1 scenarios)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distribution import (
+    Scenario,
+    plan_distribution,
+    plan_for_instruction,
+)
+from repro.core.registers import RegisterAssignment
+from repro.isa.instructions import MachineInstruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import INT_ZERO, int_reg
+
+C0 = frozenset({0})
+C1 = frozenset({1})
+BOTH = frozenset({0, 1})
+
+
+def plan(srcs, dest, preferred=0):
+    return plan_distribution(srcs, dest, num_clusters=2, preferred=preferred)
+
+
+class TestScenario1:
+    def test_all_local_same_cluster(self):
+        p = plan([C0, C0], C0)
+        assert p.scenario is Scenario.SINGLE
+        assert p.master == 0
+        assert p.slave is None
+
+    def test_cluster1_side(self):
+        p = plan([C1, C1], C1)
+        assert p.scenario is Scenario.SINGLE
+        assert p.master == 1
+
+
+class TestScenario2:
+    def test_operand_forwarded(self):
+        # Paper: r1 on C2's... srcs split, dest with the majority.
+        p = plan([C0, C1], C0)
+        assert p.scenario is Scenario.DUAL_OPERAND
+        assert p.master == 0
+        assert p.slave == 1
+        assert p.forwarded_src_indices == (1,)
+        assert not p.result_forwarded
+
+    def test_majority_decides_master(self):
+        p = plan([C1, C0], C1)
+        assert p.master == 1
+        assert p.forwarded_src_indices == (1,)
+
+
+class TestScenario3:
+    def test_result_forwarded(self):
+        p = plan([C0, C0], C1)
+        assert p.scenario is Scenario.DUAL_RESULT
+        assert p.master == 0  # where the sources live
+        assert p.slave == 1
+        assert p.forwarded_src_indices == ()
+        assert p.result_forwarded
+
+    def test_unary_source(self):
+        p = plan([C0], C1)
+        assert p.scenario is Scenario.DUAL_RESULT
+        assert p.master == 0
+
+
+class TestScenario4:
+    def test_global_dest_forces_dual(self):
+        p = plan([C0, C0], BOTH)
+        assert p.scenario is Scenario.DUAL_GLOBAL
+        assert p.master == 0
+        assert p.global_dest
+        assert p.result_forwarded
+
+    def test_no_sources_global_dest(self):
+        p = plan([], BOTH)
+        assert p.scenario is Scenario.DUAL_GLOBAL
+
+
+class TestScenario5:
+    def test_operand_and_global_result(self):
+        p = plan([C0, C1], BOTH)
+        assert p.scenario is Scenario.DUAL_OPERAND_GLOBAL
+        assert p.global_dest
+        assert p.result_forwarded
+        assert len(p.forwarded_src_indices) == 1
+
+
+class TestEdgeCases:
+    def test_no_registers_goes_to_preferred(self):
+        p = plan([], None, preferred=1)
+        assert p.scenario is Scenario.SINGLE
+        assert p.master == 1
+
+    def test_wildcard_sources_treated_as_everywhere(self):
+        p = plan([None, C1], C1)
+        assert p.scenario is Scenario.SINGLE
+        assert p.master == 1
+
+    def test_store_with_split_sources(self):
+        p = plan([C0, C1], None)
+        assert p.is_dual
+        assert len(p.forwarded_src_indices) == 1
+
+    def test_single_cluster_machine_never_dual(self):
+        p = plan_distribution([C0, C0], C0, num_clusters=1)
+        assert p.scenario is Scenario.SINGLE
+
+    def test_clusters_property(self):
+        p = plan([C0, C1], C0)
+        assert set(p.clusters) == {0, 1}
+        assert plan([C0], C0).clusters == (0,)
+
+
+class TestPlanForInstruction:
+    def test_even_odd_resolution(self):
+        a = RegisterAssignment.even_odd_dual()
+        instr = MachineInstruction(Opcode.ADDQ, dest=int_reg(4), srcs=(int_reg(0), int_reg(2)))
+        p = plan_for_instruction(instr, a)
+        assert p.scenario is Scenario.SINGLE and p.master == 0
+
+    def test_zero_register_ignored(self):
+        a = RegisterAssignment.even_odd_dual()
+        instr = MachineInstruction(Opcode.ADDQ, dest=int_reg(4), srcs=(INT_ZERO, int_reg(2)))
+        p = plan_for_instruction(instr, a)
+        assert p.scenario is Scenario.SINGLE
+
+    def test_global_dest_instruction(self):
+        from repro.isa.registers import STACK_POINTER
+
+        a = RegisterAssignment.even_odd_dual()
+        instr = MachineInstruction(Opcode.ADDQ, dest=STACK_POINTER, srcs=(int_reg(2),))
+        p = plan_for_instruction(instr, a)
+        assert p.global_dest
+
+    def test_single_cluster_assignment(self):
+        a = RegisterAssignment.single_cluster()
+        instr = MachineInstruction(Opcode.ADDQ, dest=int_reg(4), srcs=(int_reg(1), int_reg(2)))
+        p = plan_for_instruction(instr, a)
+        assert p.scenario is Scenario.SINGLE
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    srcs=st.lists(st.sampled_from([C0, C1, BOTH, None]), min_size=0, max_size=2),
+    dest=st.sampled_from([C0, C1, BOTH, None]),
+    preferred=st.sampled_from([0, 1]),
+)
+def test_property_plan_invariants(srcs, dest, preferred):
+    p = plan_distribution(srcs, dest, num_clusters=2, preferred=preferred)
+    # Master is a valid cluster, slave differs.
+    assert p.master in (0, 1)
+    if p.slave is not None:
+        assert p.slave == 1 - p.master
+    # The master can read all non-forwarded sources.
+    for i, s in enumerate(srcs):
+        if s is not None and i not in p.forwarded_src_indices:
+            assert p.master in s
+    # Forwarded sources genuinely are unreadable by the master.
+    for i in p.forwarded_src_indices:
+        assert srcs[i] is not None and p.master not in srcs[i]
+    # A global destination always dual-distributes and broadcasts.
+    if dest is BOTH:
+        assert p.is_dual and p.global_dest and p.result_forwarded
+    # A plan with any forwarding must be dual.
+    if p.forwarded_src_indices or p.result_forwarded:
+        assert p.is_dual
+    # SINGLE plans can write their destination locally.
+    if not p.is_dual and dest is not None and dest is not BOTH:
+        assert p.master in dest

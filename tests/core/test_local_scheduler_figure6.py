@@ -1,0 +1,96 @@
+"""The Figure 6 worked example: the paper's published orders must hold."""
+
+from repro.compiler.webs import build_live_ranges, designate_global_candidates
+from repro.core.partition.local import LocalScheduler
+from repro.experiments.figure6 import (
+    PAPER_ASSIGNMENT_ORDER,
+    PAPER_BLOCK_ORDER,
+    build_figure6_program,
+    run_figure6,
+)
+
+
+class TestFigure6:
+    def test_block_traversal_order_matches_paper(self):
+        result = run_figure6()
+        assert result.block_order == PAPER_BLOCK_ORDER
+
+    def test_assignment_order_matches_paper(self):
+        result = run_figure6()
+        assert result.assignment_order == PAPER_ASSIGNMENT_ORDER
+
+    def test_matches_paper_flag(self):
+        assert run_figure6().matches_paper
+
+    def test_stack_pointer_not_partitioned(self):
+        result = run_figure6()
+        assert "S" not in result.partition
+        assert "S" not in result.assignment_order
+
+    def test_every_local_candidate_assigned(self):
+        result = run_figure6()
+        assert set(result.partition) == set(PAPER_ASSIGNMENT_ORDER)
+        assert set(result.partition.values()) <= {0, 1}
+
+    def test_deterministic(self):
+        assert run_figure6().partition == run_figure6().partition
+
+
+class TestFigure6Structure:
+    def test_program_shape(self):
+        prog = build_figure6_program()
+        assert prog.cfg.labels() == ["bb1", "bb2", "bb3", "bb4", "bb5"]
+        # Twelve numbered instructions plus four control transfers
+        # (bb1 and bb4 conditionals, bb2's jump, bb5's return).
+        assert prog.instruction_count() == 16
+
+    def test_profile_counts(self):
+        prog = build_figure6_program()
+        counts = {b.label: b.profile_count for b in prog.cfg.blocks()}
+        assert counts == {"bb1": 20, "bb2": 10, "bb3": 10, "bb4": 100, "bb5": 20}
+
+    def test_s_is_global_candidate(self):
+        prog = build_figure6_program()
+        lrs = build_live_ranges(prog)
+        designate_global_candidates(lrs)
+        s_ranges = [lr for lr in lrs if lr.value.name == "S"]
+        assert s_ranges
+        assert all(lr.global_candidate for lr in s_ranges)
+
+    def test_live_ranges_one_per_letter(self):
+        prog = build_figure6_program()
+        lrs = build_live_ranges(prog)
+        designate_global_candidates(lrs)
+        names = sorted(lr.name for lr in lrs.local_candidates())
+        assert names == sorted(PAPER_ASSIGNMENT_ORDER)
+
+
+class TestSchedulerKnobs:
+    def test_threshold_zero_forces_strict_balance(self):
+        prog = build_figure6_program()
+        lrs = build_live_ranges(prog)
+        designate_global_candidates(lrs)
+        scheduler = LocalScheduler(imbalance_threshold=0)
+        partition = scheduler.partition(prog, lrs)
+        clusters = set(partition.values())
+        assert clusters == {0, 1}
+
+    def test_huge_threshold_lets_preferences_rule(self):
+        prog = build_figure6_program()
+        lrs = build_live_ranges(prog)
+        designate_global_candidates(lrs)
+        scheduler = LocalScheduler(imbalance_threshold=1000)
+        partition = scheduler.partition(prog, lrs)
+        # With balance disabled, preferences co-locate nearly everything.
+        counts = [0, 0]
+        for c in partition.values():
+            counts[c] += 1
+        assert max(counts) >= len(partition) - 2
+
+    def test_prefix_scope_variant_runs(self):
+        prog = build_figure6_program()
+        lrs = build_live_ranges(prog)
+        designate_global_candidates(lrs)
+        scheduler = LocalScheduler(imbalance_scope="prefix")
+        partition = scheduler.partition(prog, lrs)
+        assert len(partition) == len(PAPER_ASSIGNMENT_ORDER)

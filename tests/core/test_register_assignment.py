@@ -1,0 +1,102 @@
+"""Tests for the architectural-register-to-cluster assignment."""
+
+import pytest
+
+from repro.core.registers import RegisterAssignment
+from repro.isa.registers import (
+    GLOBAL_POINTER,
+    INT_ZERO,
+    FP_ZERO,
+    STACK_POINTER,
+    RegisterClass,
+    all_registers,
+    fp_reg,
+    int_reg,
+)
+
+
+class TestEvenOdd:
+    def test_even_registers_to_cluster0(self):
+        a = RegisterAssignment.even_odd_dual()
+        assert a.clusters_of(int_reg(0)) == frozenset({0})
+        assert a.clusters_of(int_reg(4)) == frozenset({0})
+        assert a.clusters_of(fp_reg(2)) == frozenset({0})
+
+    def test_odd_registers_to_cluster1(self):
+        a = RegisterAssignment.even_odd_dual()
+        assert a.clusters_of(int_reg(1)) == frozenset({1})
+        assert a.clusters_of(fp_reg(7)) == frozenset({1})
+
+    def test_sp_gp_are_global(self):
+        a = RegisterAssignment.even_odd_dual()
+        assert a.is_global(STACK_POINTER)
+        assert a.is_global(GLOBAL_POINTER)
+        assert a.home_cluster(STACK_POINTER) is None
+
+    def test_zero_registers_global(self):
+        a = RegisterAssignment.even_odd_dual()
+        assert a.clusters_of(INT_ZERO) == frozenset({0, 1})
+        assert a.clusters_of(FP_ZERO) == frozenset({0, 1})
+
+    def test_home_cluster_for_locals(self):
+        a = RegisterAssignment.even_odd_dual()
+        assert a.home_cluster(int_reg(6)) == 0
+        assert a.home_cluster(int_reg(7)) == 1
+
+    def test_local_register_pools_disjoint(self):
+        a = RegisterAssignment.even_odd_dual()
+        c0 = set(a.local_registers(0, RegisterClass.INT))
+        c1 = set(a.local_registers(1, RegisterClass.INT))
+        assert not (c0 & c1)
+        assert all(r.index % 2 == 0 for r in c0)
+        assert all(r.index % 2 == 1 for r in c1)
+
+    def test_global_registers_are_sp_gp_by_default(self):
+        a = RegisterAssignment.even_odd_dual()
+        assert set(a.global_registers(RegisterClass.INT)) == {STACK_POINTER, GLOBAL_POINTER}
+        assert a.global_registers(RegisterClass.FP) == ()
+
+    def test_extra_globals(self):
+        a = RegisterAssignment.even_odd_dual(extra_globals=(int_reg(8), fp_reg(8)))
+        assert a.is_global(int_reg(8))
+        assert fp_reg(8) in a.global_registers(RegisterClass.FP)
+        # The extra global leaves its parity pool.
+        assert int_reg(8) not in a.local_registers(0, RegisterClass.INT)
+
+
+class TestLowHigh:
+    def test_split_at_sixteen(self):
+        a = RegisterAssignment.low_high_dual()
+        assert a.home_cluster(int_reg(3)) == 0
+        assert a.home_cluster(int_reg(20)) == 1
+
+    def test_sp_gp_still_global(self):
+        a = RegisterAssignment.low_high_dual()
+        assert a.is_global(STACK_POINTER)
+
+
+class TestSingleCluster:
+    def test_everything_in_cluster0(self):
+        a = RegisterAssignment.single_cluster()
+        for reg in all_registers():
+            assert a.clusters_of(reg) == frozenset({0})
+
+    def test_nothing_global(self):
+        a = RegisterAssignment.single_cluster()
+        assert not a.is_global(STACK_POINTER)
+
+
+class TestValidation:
+    def test_missing_register_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterAssignment(2, {})
+
+    def test_empty_cluster_set_rejected(self):
+        mapping = {r: frozenset({r.index % 2}) for r in all_registers()}
+        mapping[int_reg(5)] = frozenset()
+        with pytest.raises(ValueError):
+            RegisterAssignment(2, mapping)
+
+    def test_describe_mentions_clusters(self):
+        text = RegisterAssignment.even_odd_dual().describe()
+        assert "cluster 0" in text and "globals" in text

@@ -1,0 +1,66 @@
+"""Tests for the Figure 6 experiment wrapper and the ablation harnesses."""
+
+from repro.experiments.ablations import (
+    run_assignment_ablation,
+    run_partitioner_ablation,
+)
+from repro.experiments.cycle_time import (
+    format_cycle_time_analysis,
+    run_cycle_time_analysis,
+)
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.harness import EvaluationOptions
+from repro.experiments.table2 import run_table2
+from repro.workloads.generator import (
+    ArraySpec,
+    LoopSpec,
+    WorkloadSpec,
+    generate_workload,
+)
+
+
+def tiny():
+    spec = WorkloadSpec(
+        name="tiny",
+        seed=8,
+        arrays=[ArraySpec("a", kind="strided", size=1 << 14)],
+        loops=[LoopSpec(body_blocks=2, block_size=10, trip_count=8, arrays=("a",))],
+    )
+    return generate_workload(spec)
+
+
+class TestFigure6Experiment:
+    def test_reproduces_paper(self):
+        assert run_figure6().matches_paper
+
+
+class TestCycleTimeAnalysis:
+    def test_analysis_from_small_table2(self):
+        table2 = run_table2(["ora"], EvaluationOptions(trace_length=3000))
+        report = run_cycle_time_analysis(table2)
+        assert len(report.rows) == 1
+        # At 0.18um the clustered machine must win for a mild slowdown.
+        assert report.rows[0].net_018 > report.rows[0].net_035
+        text = format_cycle_time_analysis(report)
+        assert "0.18um" in text
+
+    def test_available_reductions_ordered(self):
+        table2 = run_table2(["ora"], EvaluationOptions(trace_length=2000))
+        report = run_cycle_time_analysis(table2)
+        assert report.available_018 > report.available_035
+
+
+class TestAblations:
+    def test_partitioner_ablation_runs_all(self):
+        result = run_partitioner_ablation(tiny, trace_length=2500)
+        labels = [p.label for p in result.points]
+        assert labels == ["local", "affinity-kl", "round-robin", "random"]
+        text = result.format()
+        assert "local" in text
+
+    def test_assignment_ablation(self):
+        result = run_assignment_ablation(tiny, trace_length=2500)
+        assert [p.label for p in result.points] == ["even/odd", "low/high"]
+        # The 'none' column is the same binary on the same machine shape,
+        # but a different register map changes its distribution.
+        assert result.points[0].pct_none != 0 or result.points[1].pct_none != 0

@@ -1,0 +1,62 @@
+"""Tests for the queue-size and imbalance-scope ablations."""
+
+from repro.experiments.ablations import (
+    run_imbalance_scope_ablation,
+    run_queue_size_ablation,
+)
+from repro.workloads.generator import (
+    ArraySpec,
+    LoopSpec,
+    WorkloadSpec,
+    generate_workload,
+)
+
+
+def tiny():
+    spec = WorkloadSpec(
+        name="tiny",
+        seed=17,
+        arrays=[ArraySpec("a", kind="hotcold", size=1 << 16)],
+        loops=[
+            LoopSpec(
+                body_blocks=2,
+                block_size=8,
+                trip_count=12,
+                diamond_prob=0.6,
+                diamond_taken_prob=0.7,
+                arrays=("a",),
+            )
+        ],
+    )
+    return generate_workload(spec)
+
+
+class TestQueueSizeAblation:
+    def test_sweeps_all_sizes(self):
+        result = run_queue_size_ablation(tiny, queue_sizes=(32, 128), trace_length=4000)
+        assert [p.entries for p in result.points] == [32, 128]
+        text = result.format()
+        assert "dispatch-queue size" in text
+
+    def test_same_trace_same_branch_stream(self):
+        """Only the queue differs, so prediction counts match across points
+        (accuracy may differ through update-at-execute staleness)."""
+        result = run_queue_size_ablation(tiny, queue_sizes=(16, 256), trace_length=4000)
+        assert all(p.cycles > 0 for p in result.points)
+        # A 16-entry queue cannot be faster than a 256-entry one here.
+        assert result.points[0].cycles >= result.points[1].cycles
+
+    def test_disorder_grows_with_queue(self):
+        result = run_queue_size_ablation(tiny, queue_sizes=(16, 256), trace_length=4000)
+        assert result.points[1].issue_disorder >= result.points[0].issue_disorder
+
+
+class TestImbalanceScopeAblation:
+    def test_both_scopes_run(self):
+        result = run_imbalance_scope_ablation(tiny, trace_length=3000)
+        assert [p.label for p in result.points] == ["scope=block", "scope=prefix"]
+
+    def test_both_scopes_complete_the_trace(self):
+        result = run_imbalance_scope_ablation(tiny, trace_length=3000)
+        for p in result.points:
+            assert -100 < p.pct_local < 100

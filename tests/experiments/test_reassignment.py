@@ -1,0 +1,79 @@
+"""Tests for the dynamic register reassignment extension (Section 6)."""
+
+import pytest
+
+from repro.core.registers import RegisterAssignment
+from repro.experiments.reassignment import (
+    build_two_phase_trace,
+    format_reassignment_result,
+    run_reassignment_demo,
+)
+from repro.uarch.config import default_assignment_for, dual_cluster_config
+from repro.uarch.processor import Processor
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_reassignment_demo(phase_length=1500)
+
+
+class TestDemo:
+    def test_dynamic_beats_both_statics(self, result):
+        assert result.dynamic_wins
+
+    def test_exactly_one_reassignment(self, result):
+        assert result.reassignments == 1
+
+    def test_switch_has_a_cost(self, result):
+        assert result.reassignment_stall_cycles > 0
+
+    def test_statics_pay_dual_distribution(self, result):
+        assert result.dual_even_odd > 0.4
+        assert result.dual_low_high > 0.4
+        assert result.dual_dynamic < 0.01
+
+    def test_format(self, result):
+        text = format_reassignment_result(result)
+        assert "dynamic wins: True" in text
+
+
+class TestMechanism:
+    def test_reassignment_drains_first(self):
+        """The switch must not happen while older work is in flight: every
+        instruction still retires exactly once."""
+        trace = build_two_phase_trace(600, dynamic=True)
+        config = dual_cluster_config()
+        processor = Processor(config, RegisterAssignment.even_odd_dual())
+        res = processor.run(trace)
+        assert res.stats.instructions == len(trace)
+        assert res.stats.reassignments == 1
+
+    def test_assignment_actually_switches(self):
+        trace = build_two_phase_trace(400, dynamic=True)
+        config = dual_cluster_config()
+        processor = Processor(config, RegisterAssignment.even_odd_dual())
+        processor.run(trace)
+        from repro.isa.registers import int_reg
+
+        # After the run, the live assignment is low/high.
+        assert processor.assignment.home_cluster(int_reg(1)) == 0
+        assert processor.assignment.home_cluster(int_reg(17)) == 1
+
+    def test_no_hint_no_switch(self):
+        trace = build_two_phase_trace(400, dynamic=False)
+        config = dual_cluster_config()
+        processor = Processor(config, default_assignment_for(config))
+        res = processor.run(trace)
+        assert res.stats.reassignments == 0
+
+    def test_same_assignment_hint_still_charged(self):
+        """Hinting a switch to a *different* object with identical maps is
+        still a switch (the hardware can't diff them for free) — but the
+        machine keeps working."""
+        trace = build_two_phase_trace(300, dynamic=False)
+        trace[len(trace) // 2].reassign = RegisterAssignment.even_odd_dual()
+        config = dual_cluster_config()
+        processor = Processor(config, RegisterAssignment.even_odd_dual())
+        res = processor.run(trace)
+        assert res.stats.instructions == len(trace)
+        assert res.stats.reassignments == 1

@@ -1,0 +1,66 @@
+"""Tests for the report generator and the CLI plumbing."""
+
+import pytest
+
+from repro.cli import build_parser
+from repro.experiments.report import generate_report, write_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(trace_length=2500, benchmarks=["ora"])
+
+    def test_all_artifacts_present(self, report):
+        assert len(report.table2.rows) == 1
+        assert len(report.scenarios) == 5
+        assert report.figure6.matches_paper
+        assert report.cycle_time.rows
+
+    def test_markdown_sections(self, report):
+        md = report.markdown
+        assert "# Multicluster Architecture" in md
+        assert "Table 2" in md
+        assert "Figure 6" in md
+        assert "Cycle-time analysis" in md
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "REPORT.md"
+        report = write_report(str(path), trace_length=2000, benchmarks=["ora"])
+        assert path.exists()
+        assert path.read_text() == report.markdown
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        for command in ("table2", "scenarios", "figure6", "cycle-time", "ablations", "report"):
+            args = parser.parse_args([command] if command != "ablations" else [command])
+            assert args.command == command
+
+    def test_table2_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["table2", "--trace-length", "5000", "--benchmarks", "ora", "gcc1"]
+        )
+        assert args.trace_length == 5000
+        assert args.benchmarks == ["ora", "gcc1"]
+
+    def test_ablation_sweep_choices_validated(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["ablations", "--sweeps", "bogus"])
+
+    def test_figure6_command_runs(self, capsys):
+        from repro.cli import main
+
+        main(["figure6"])
+        out = capsys.readouterr().out
+        assert "matches paper         : True" in out
+
+    def test_scenarios_command_runs(self, capsys):
+        from repro.cli import main
+
+        main(["scenarios"])
+        out = capsys.readouterr().out
+        assert "Scenario 5" in out

@@ -1,0 +1,105 @@
+"""Tests of the Figure 2-5 scenario timelines (experiments E4-E7)."""
+
+import pytest
+
+from repro.core.distribution import Scenario
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    format_timeline,
+    run_all_scenarios,
+    run_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def timelines():
+    return {n: run_scenario(n) for n in SCENARIOS}
+
+
+class TestClassification:
+    def test_all_scenarios_classified_as_expected(self, timelines):
+        for number, timeline in timelines.items():
+            assert timeline.plan_scenario is SCENARIOS[number].expected
+
+    def test_scenario1_single_copy(self, timelines):
+        t = timelines[1]
+        assert t.issue_cycle("master") is not None
+        assert t.issue_cycle("slave") is None
+
+
+class TestFigure2OperandForward:
+    def test_slave_issues_before_master(self, timelines):
+        t = timelines[2]
+        assert t.issue_cycle("slave") < t.issue_cycle("master")
+
+    def test_master_one_cycle_after_slave(self, timelines):
+        """Figure 2's timing: inter-copy dependence removed at slave
+        issue, master issues the next cycle."""
+        t = timelines[2]
+        assert t.issue_cycle("master") == t.issue_cycle("slave") + 1
+
+    def test_master_completes_last(self, timelines):
+        t = timelines[2]
+        assert t.completion_cycle("master") >= t.completion_cycle("slave")
+
+
+class TestFigure3ResultForward:
+    def test_master_issues_first(self, timelines):
+        t = timelines[3]
+        assert t.issue_cycle("master") < t.issue_cycle("slave")
+
+    def test_slave_one_cycle_after_master_for_one_cycle_op(self, timelines):
+        """Figure 3: 'the slave copy can be issued as soon as one cycle
+        after the master copy is issued' for one-cycle-latency adds."""
+        t = timelines[3]
+        assert t.issue_cycle("slave") == t.issue_cycle("master") + 1
+
+    def test_slave_writes_after_master_done(self, timelines):
+        t = timelines[3]
+        assert t.completion_cycle("slave") >= t.completion_cycle("master")
+
+
+class TestFigure4GlobalDest:
+    def test_same_protocol_as_figure3(self, timelines):
+        t = timelines[4]
+        assert t.issue_cycle("master") < t.issue_cycle("slave")
+
+    def test_both_copies_complete(self, timelines):
+        t = timelines[4]
+        assert t.completion_cycle("master") is not None
+        assert t.completion_cycle("slave") is not None
+
+
+class TestFigure5OperandAndGlobal:
+    def test_slave_issues_twice(self, timelines):
+        """The slave forwards the operand, suspends, and wakes to write
+        the global copy (Figure 5)."""
+        t = timelines[5]
+        issues = [(c, r) for c, r, _cl in t.issues if r == "slave"]
+        assert len(issues) == 2
+
+    def test_slave_operand_phase_before_master(self, timelines):
+        t = timelines[5]
+        first_slave = t.issue_cycle("slave", first=True)
+        assert first_slave < t.issue_cycle("master")
+
+    def test_slave_result_phase_after_master_issue(self, timelines):
+        t = timelines[5]
+        second_slave = t.issue_cycle("slave", first=False)
+        assert second_slave > t.issue_cycle("master")
+
+    def test_slave_completes_after_master(self, timelines):
+        t = timelines[5]
+        assert t.completion_cycle("slave") > t.completion_cycle("master")
+
+
+class TestFormatting:
+    def test_format_mentions_figure(self, timelines):
+        text = format_timeline(timelines[2])
+        assert "Figure 2" in text
+        assert "DUAL_OPERAND" in text
+
+    def test_run_all(self):
+        all_timelines = run_all_scenarios()
+        assert len(all_timelines) == 5
+        assert [t.spec.number for t in all_timelines] == [1, 2, 3, 4, 5]

@@ -1,0 +1,76 @@
+"""Tests for basic blocks."""
+
+import pytest
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.instructions import ILInstruction
+from repro.ir.values import ILValue
+from repro.isa.opcodes import Opcode
+
+
+def value(vid, name="v"):
+    return ILValue(vid, f"{name}{vid}")
+
+
+def alu(dest, *srcs):
+    return ILInstruction(Opcode.ADDQ, dest=dest, srcs=srcs)
+
+
+class TestTerminator:
+    def test_empty_block_has_no_terminator(self):
+        assert BasicBlock("b").terminator is None
+
+    def test_alu_tail_is_not_terminator(self):
+        block = BasicBlock("b", [alu(value(0))])
+        assert block.terminator is None
+        assert block.body == block.instructions
+
+    def test_branch_tail_is_terminator(self):
+        branch = ILInstruction(Opcode.BNE, srcs=(value(0),), target="t")
+        block = BasicBlock("b", [alu(value(1)), branch])
+        assert block.terminator is branch
+        assert block.body == block.instructions[:-1]
+
+    def test_add_after_terminator_rejected(self):
+        block = BasicBlock("b")
+        block.add(ILInstruction(Opcode.BR, target="t"))
+        with pytest.raises(ValueError):
+            block.add(alu(value(0)))
+
+
+class TestSuccessors:
+    def test_set_successors_with_probs(self):
+        block = BasicBlock("b")
+        block.set_successors(["x", "y"], [0.25, 0.75])
+        assert block.succ_labels == ["x", "y"]
+        assert block.edge_probs == {"x": 0.25, "y": 0.75}
+
+    def test_default_probs_uniform(self):
+        block = BasicBlock("b")
+        block.set_successors(["x", "y"])
+        assert block.edge_probs["x"] == pytest.approx(0.5)
+
+    def test_probs_must_sum_to_one(self):
+        block = BasicBlock("b")
+        with pytest.raises(ValueError):
+            block.set_successors(["x", "y"], [0.5, 0.2])
+
+    def test_probs_length_must_match(self):
+        block = BasicBlock("b")
+        with pytest.raises(ValueError):
+            block.set_successors(["x"], [0.5, 0.5])
+
+
+class TestMisc:
+    def test_len_and_iter(self):
+        instrs = [alu(value(i)) for i in range(3)]
+        block = BasicBlock("b", instrs)
+        assert len(block) == 3
+        assert list(block) == instrs
+
+    def test_format_contains_label_and_count(self):
+        block = BasicBlock("hot", [alu(value(0))])
+        block.profile_count = 99
+        text = block.format()
+        assert "hot" in text
+        assert "99" in text

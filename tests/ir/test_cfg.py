@@ -1,0 +1,110 @@
+"""Tests for the control-flow graph."""
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.basic_block import BasicBlock
+from repro.ir.instructions import ILInstruction
+from repro.isa.opcodes import Opcode
+
+
+def diamond_program():
+    """entry -> (then|else) -> join, with a loop on join."""
+    b = ProgramBuilder("diamond")
+    x = b.value("x")
+    b.block("entry")
+    b.op(Opcode.LDA, x, imm=1)
+    b.branch(Opcode.BNE, x, "else_")
+    b.block("then")
+    b.op(Opcode.ADDQ, "y", x, x)
+    b.jump("join")
+    b.block("else_")
+    b.op(Opcode.SUBQ, "y2", x, x)
+    b.block("join")
+    b.op(Opcode.ADDQ, "z", x, x)
+    b.branch(Opcode.BNE, "z", "join")
+    b.block("exit")
+    b.ret()
+    return b.build()
+
+
+class TestConstruction:
+    def test_duplicate_label_rejected(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block(BasicBlock("a"))
+        with pytest.raises(ValueError):
+            cfg.add_block(BasicBlock("a"))
+
+    def test_entry_is_first_block(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block(BasicBlock("first"))
+        cfg.add_block(BasicBlock("second"))
+        assert cfg.entry.label == "first"
+
+    def test_empty_cfg_entry_raises(self):
+        with pytest.raises(ValueError):
+            ControlFlowGraph().entry
+
+
+class TestFinalize:
+    def test_fallthrough_wired(self):
+        prog = diamond_program()
+        # `then` ends with a jump; `else_` falls through to join.
+        assert prog.cfg.block("else_").succ_labels == ["join"]
+
+    def test_conditional_gets_taken_then_fallthrough(self):
+        prog = diamond_program()
+        assert prog.cfg.block("entry").succ_labels == ["else_", "then"]
+
+    def test_ret_is_program_exit(self):
+        prog = diamond_program()
+        assert prog.cfg.block("exit").succ_labels == []
+
+    def test_unknown_edge_target_rejected(self):
+        b = ProgramBuilder("bad")
+        b.block("only")
+        b.jump("nowhere")
+        with pytest.raises(ValueError):
+            b.build()
+
+
+class TestTraversals:
+    def test_reverse_postorder_starts_at_entry(self):
+        prog = diamond_program()
+        rpo = prog.cfg.reverse_postorder()
+        assert rpo[0] == "entry"
+        assert set(rpo) == set(prog.cfg.labels())
+
+    def test_rpo_places_preds_before_succs_in_dags(self):
+        prog = diamond_program()
+        rpo = prog.cfg.reverse_postorder()
+        assert rpo.index("entry") < rpo.index("then")
+        assert rpo.index("then") < rpo.index("join") or rpo.index("else_") < rpo.index("join")
+
+    def test_back_edges_found(self):
+        prog = diamond_program()
+        assert ("join", "join") in prog.cfg.back_edges()
+
+    def test_predecessor_map(self):
+        prog = diamond_program()
+        preds = prog.cfg.predecessor_map()
+        assert set(preds["join"]) == {"then", "else_", "join"}
+        assert preds["entry"] == []
+
+    def test_layout_index(self):
+        prog = diamond_program()
+        assert prog.cfg.layout_index("entry") == 0
+        assert prog.cfg.layout_index("exit") == 4
+
+
+class TestSuccessorsAccessors:
+    def test_successors_returns_blocks(self):
+        prog = diamond_program()
+        succs = prog.cfg.successors("entry")
+        assert [s.label for s in succs] == ["else_", "then"]
+
+    def test_contains(self):
+        prog = diamond_program()
+        assert "join" in prog.cfg
+        assert "missing" not in prog.cfg

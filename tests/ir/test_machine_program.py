@@ -1,0 +1,66 @@
+"""Tests for machine programs."""
+
+import pytest
+
+from repro.ir.machine_program import (
+    INSTRUCTION_BYTES,
+    MachineInstrMeta,
+    MachineProgram,
+)
+from repro.isa.instructions import MachineInstruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import int_reg
+
+
+def small_program():
+    mp = MachineProgram("p")
+    b0 = mp.add_block("b0")
+    b0.add(MachineInstruction(Opcode.LDA, dest=int_reg(0), imm=1))
+    b0.add(
+        MachineInstruction(Opcode.LDQ, dest=int_reg(1), srcs=(int_reg(0),)),
+        MachineInstrMeta(mem_stream="arr"),
+    )
+    b1 = mp.add_block("b1")
+    b1.add(MachineInstruction(Opcode.RET))
+    return mp
+
+
+class TestStructure:
+    def test_entry_is_first(self):
+        assert small_program().entry.label == "b0"
+
+    def test_duplicate_label_rejected(self):
+        mp = small_program()
+        with pytest.raises(ValueError):
+            mp.add_block("b0")
+
+    def test_instruction_count(self):
+        assert small_program().instruction_count() == 3
+
+    def test_meta_parallel_to_instructions(self):
+        mp = small_program()
+        for block in mp.blocks():
+            assert len(block.meta) == len(block.instructions)
+
+    def test_meta_annotation_preserved(self):
+        mp = small_program()
+        metas = [m for _i, m in mp.all_instructions()]
+        assert metas[1].mem_stream == "arr"
+
+
+class TestPcAssignment:
+    def test_assign_pcs_dense(self):
+        mp = small_program()
+        mp.assign_pcs(base=0x1000)
+        pcs = [m.pc for _i, m in mp.all_instructions()]
+        assert pcs == [0x1000, 0x1000 + INSTRUCTION_BYTES, 0x1000 + 2 * INSTRUCTION_BYTES]
+
+    def test_assign_pcs_sets_uids(self):
+        mp = small_program()
+        mp.assign_pcs()
+        uids = [i.uid for i, _m in mp.all_instructions()]
+        assert uids == [0, 1, 2]
+
+    def test_format_contains_blocks(self):
+        text = small_program().format()
+        assert "b0:" in text and "b1:" in text

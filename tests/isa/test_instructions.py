@@ -1,0 +1,76 @@
+"""Tests for machine instructions."""
+
+from repro.isa.instructions import MachineInstruction
+from repro.isa.opcodes import InstrClass, Opcode
+from repro.isa.registers import FP_ZERO, INT_ZERO, fp_reg, int_reg
+
+
+def addq(dest, *srcs, **kw):
+    return MachineInstruction(Opcode.ADDQ, dest=dest, srcs=tuple(srcs), **kw)
+
+
+class TestEffectiveOperands:
+    def test_plain_dest_and_srcs(self):
+        instr = addq(int_reg(3), int_reg(1), int_reg(2))
+        assert instr.effective_dest is int_reg(3)
+        assert instr.effective_srcs == (int_reg(1), int_reg(2))
+
+    def test_zero_dest_is_discarded(self):
+        instr = addq(INT_ZERO, int_reg(1), int_reg(2))
+        assert instr.effective_dest is None
+
+    def test_zero_srcs_are_dropped(self):
+        instr = addq(int_reg(3), INT_ZERO, int_reg(2))
+        assert instr.effective_srcs == (int_reg(2),)
+
+    def test_fp_zero_dropped(self):
+        instr = MachineInstruction(Opcode.ADDT, dest=fp_reg(2), srcs=(FP_ZERO, fp_reg(1)))
+        assert instr.effective_srcs == (fp_reg(1),)
+
+    def test_named_registers_excludes_zero(self):
+        instr = addq(INT_ZERO, INT_ZERO, int_reg(2))
+        assert instr.named_registers() == (int_reg(2),)
+
+    def test_named_registers_includes_dest(self):
+        instr = addq(int_reg(4), int_reg(1))
+        assert int_reg(4) in instr.named_registers()
+
+
+class TestStructural:
+    def test_iclass_delegates_to_opcode(self):
+        assert addq(int_reg(1)).iclass is InstrClass.INT_OTHER
+
+    def test_srcs_normalized_to_tuple(self):
+        instr = MachineInstruction(Opcode.ADDQ, dest=int_reg(1), srcs=[int_reg(2)])  # type: ignore[arg-type]
+        assert isinstance(instr.srcs, tuple)
+
+    def test_with_uid(self):
+        instr = addq(int_reg(1), int_reg(2))
+        renumbered = instr.with_uid(42)
+        assert renumbered.uid == 42
+        assert renumbered.opcode is instr.opcode
+        assert renumbered.srcs == instr.srcs
+        # uid is excluded from equality.
+        assert renumbered == instr
+
+    def test_store_has_no_dest(self):
+        store = MachineInstruction(Opcode.STQ, srcs=(int_reg(1), int_reg(2)))
+        assert store.effective_dest is None
+        assert len(store.srcs) == 2
+
+
+class TestFormatting:
+    def test_alu_format(self):
+        assert addq(int_reg(3), int_reg(1), int_reg(2)).format() == "addq r1, r2 -> r3"
+
+    def test_immediate_format(self):
+        instr = MachineInstruction(Opcode.LDA, dest=int_reg(4), imm=16)
+        assert instr.format() == "lda #16 -> r4"
+
+    def test_branch_format(self):
+        instr = MachineInstruction(Opcode.BNE, srcs=(int_reg(2),), target="loop")
+        assert instr.format() == "bne r2 @loop"
+
+    def test_str_matches_format(self):
+        instr = addq(int_reg(3), int_reg(1))
+        assert str(instr) == instr.format()

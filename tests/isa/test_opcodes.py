@@ -1,0 +1,75 @@
+"""Tests for opcodes and instruction classes."""
+
+from repro.isa.opcodes import MOVE_OPCODES, InstrClass, Opcode
+
+
+class TestInstrClass:
+    def test_integer_classes(self):
+        assert InstrClass.INT_MULTIPLY.is_integer
+        assert InstrClass.INT_OTHER.is_integer
+        assert not InstrClass.FP_OTHER.is_integer
+
+    def test_fp_classes(self):
+        assert InstrClass.FP_DIVIDE.is_fp
+        assert InstrClass.FP_OTHER.is_fp
+        assert not InstrClass.LOAD.is_fp
+
+    def test_memory_classes(self):
+        assert InstrClass.LOAD.is_memory
+        assert InstrClass.STORE.is_memory
+        assert not InstrClass.CONTROL.is_memory
+
+
+class TestOpcodeClassification:
+    def test_every_opcode_has_a_class(self):
+        for op in Opcode:
+            assert isinstance(op.iclass, InstrClass)
+
+    def test_loads(self):
+        for op in (Opcode.LDQ, Opcode.LDL, Opcode.LDT, Opcode.LDS):
+            assert op.is_load
+            assert op.is_memory
+            assert not op.is_store
+
+    def test_stores(self):
+        for op in (Opcode.STQ, Opcode.STL, Opcode.STT, Opcode.STS):
+            assert op.is_store
+            assert op.is_memory
+            assert not op.is_load
+
+    def test_conditional_branches(self):
+        for op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.FBEQ, Opcode.FBNE):
+            assert op.is_conditional_branch
+            assert op.is_control
+            assert not op.is_unconditional
+
+    def test_unconditional_flow(self):
+        for op in (Opcode.BR, Opcode.JSR, Opcode.RET, Opcode.JMP):
+            assert op.is_unconditional
+            assert op.is_control
+            assert not op.is_conditional_branch
+
+    def test_divides_are_fp_divide_class(self):
+        assert Opcode.DIVS.iclass is InstrClass.FP_DIVIDE
+        assert Opcode.DIVT.iclass is InstrClass.FP_DIVIDE
+
+    def test_multiply_class(self):
+        assert Opcode.MULQ.iclass is InstrClass.INT_MULTIPLY
+        assert Opcode.UMULH.iclass is InstrClass.INT_MULTIPLY
+        # FP multiply is an ordinary FP op, not the multiply class.
+        assert Opcode.MULT.iclass is InstrClass.FP_OTHER
+
+    def test_writes_fp(self):
+        assert Opcode.ADDT.writes_fp
+        assert Opcode.LDT.writes_fp
+        assert Opcode.LDS.writes_fp
+        assert not Opcode.LDQ.writes_fp
+        assert not Opcode.ADDQ.writes_fp
+
+    def test_mnemonics_unique(self):
+        mnemonics = [op.mnemonic for op in Opcode]
+        assert len(mnemonics) == len(set(mnemonics))
+
+    def test_move_opcodes(self):
+        assert MOVE_OPCODES["int"] is Opcode.BIS
+        assert MOVE_OPCODES["fp"] is Opcode.CPYS

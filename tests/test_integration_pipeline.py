@@ -1,0 +1,143 @@
+"""Whole-stack integration and property tests.
+
+These exercise the complete path — generator → optimizer → scheduler →
+partitioner → allocator → lowering → trace → simulator — on randomized
+programs, checking the invariants that must survive every stage:
+
+* every trace instruction retires exactly once, on every machine;
+* cluster-aware allocation's register parities match the partition;
+* the same trace on the same machine is cycle-for-cycle deterministic;
+* single-cluster never dual-distributes, dual always can.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.pipeline import compile_program
+from repro.core import LocalScheduler, RegisterAssignment
+from repro.uarch import dual_cluster_config, simulate, single_cluster_config
+from repro.workloads.generator import (
+    ArraySpec,
+    LoopSpec,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.workloads.tracegen import TraceGenerator
+
+
+def random_spec(seed: int) -> WorkloadSpec:
+    rng = random.Random(seed)
+    fp = rng.random() < 0.5
+    mix = {
+        "int_alu": 0.4 if not fp else 0.15,
+        "int_mul": rng.choice([0.0, 0.02]),
+        "fp_alu": 0.0 if not fp else 0.4,
+        "fp_div": 0.0 if not fp else rng.choice([0.0, 0.03]),
+        "load": 0.3,
+        "store": 0.15,
+    }
+    total = sum(mix.values())
+    mix = {k: v / total for k, v in mix.items()}
+    arrays = [
+        ArraySpec("m0", kind=rng.choice(["strided", "random", "hotcold"]),
+                  size=1 << rng.randint(14, 20), fp=fp),
+    ]
+    loops = [
+        LoopSpec(
+            body_blocks=rng.randint(1, 3),
+            block_size=rng.randint(4, 14),
+            trip_count=rng.randint(3, 40),
+            trip_jitter=rng.randint(0, 3),
+            diamond_prob=rng.choice([0.0, 0.5]),
+            arrays=("m0",),
+        )
+        for _ in range(rng.randint(1, 3))
+    ]
+    return WorkloadSpec(
+        name=f"rand{seed}",
+        seed=seed,
+        mix=mix,
+        arrays=arrays,
+        loops=loops,
+        chain_bias=rng.uniform(0.2, 0.8),
+        live_window=rng.randint(5, 14),
+        accumulators=rng.randint(1, 3),
+        accumulate_prob=rng.uniform(0.05, 0.4),
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_full_stack_invariants(seed):
+    workload = generate_workload(random_spec(seed))
+    native = compile_program(workload.program, RegisterAssignment.single_cluster())
+    clustered = compile_program(
+        workload.program, RegisterAssignment.even_odd_dual(), LocalScheduler()
+    )
+
+    trace_n = TraceGenerator(
+        native.machine, workload.streams, workload.behaviors, seed=seed
+    ).generate(2000)
+    trace_c = TraceGenerator(
+        clustered.machine, workload.streams, workload.behaviors, seed=seed
+    ).generate(2000)
+
+    single = simulate(trace_n, single_cluster_config())
+    dual = simulate(trace_c, dual_cluster_config())
+
+    # Everything retires exactly once.
+    assert single.stats.instructions == 2000
+    assert dual.stats.instructions == 2000
+    # Single cluster never dual-distributes.
+    assert single.stats.dual_distributed == 0
+    # Register parities follow the partition.
+    for lr in clustered.lrs:
+        if lr.global_candidate:
+            continue
+        cluster = clustered.allocation.cluster_of.get(lr.lrid)
+        if cluster is None:
+            continue
+        reg = clustered.allocation.coloring[lr.lrid]
+        assert reg.index % 2 == cluster
+
+
+@settings(max_examples=4, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_simulation_deterministic(seed):
+    workload = generate_workload(random_spec(seed))
+    native = compile_program(workload.program, RegisterAssignment.single_cluster())
+    trace = TraceGenerator(
+        native.machine, workload.streams, workload.behaviors, seed=seed
+    ).generate(1500)
+    r1 = simulate(trace, dual_cluster_config())
+    r2 = simulate(trace, dual_cluster_config())
+    assert r1.cycles == r2.cycles
+    assert r1.stats.dual_distributed == r2.stats.dual_distributed
+    assert r1.stats.replay_exceptions == r2.stats.replay_exceptions
+
+
+class TestCrossMachineSanity:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = generate_workload(random_spec(123))
+        native = compile_program(workload.program, RegisterAssignment.single_cluster())
+        trace = TraceGenerator(
+            native.machine, workload.streams, workload.behaviors, seed=1
+        ).generate(4000)
+        return trace
+
+    def test_dual_never_faster_than_double_single(self, setup):
+        """The dual machine has the same total resources: its cycles are
+        bounded below by roughly the single machine's (it cannot win big
+        on cycle count)."""
+        single = simulate(setup, single_cluster_config())
+        dual = simulate(setup, dual_cluster_config())
+        assert dual.cycles > 0.8 * single.cycles
+
+    def test_issue_conservation(self, setup):
+        """Total uops issued >= instructions (duals add slave copies)."""
+        dual = simulate(setup, dual_cluster_config())
+        issued = sum(c.issued for c in dual.stats.clusters)
+        assert issued >= dual.stats.instructions

@@ -1,0 +1,71 @@
+"""Tests for the cycle-time run-time analysis."""
+
+import pytest
+
+from repro.timing.analysis import (
+    available_clock_reduction,
+    break_even_clock_reduction,
+    format_cycle_time_report,
+    net_performance,
+)
+from repro.timing.palacharla import TECH_018, TECH_035
+
+
+class TestBreakEven:
+    def test_paper_worked_example(self):
+        """Section 4.2: a 25% slowdown needs a 20% smaller clock period."""
+        assert break_even_clock_reduction(25.0) == pytest.approx(20.0)
+
+    def test_zero_slowdown_needs_nothing(self):
+        assert break_even_clock_reduction(0.0) == pytest.approx(0.0)
+
+    def test_larger_slowdowns_need_more(self):
+        assert break_even_clock_reduction(41.0) > break_even_clock_reduction(14.0)
+
+
+class TestAvailableReduction:
+    def test_035_is_insufficient_for_worst_case(self):
+        """The paper's conclusion at 0.35um: 15% available < 20% needed."""
+        available = available_clock_reduction(TECH_035)
+        needed = break_even_clock_reduction(25.0)
+        assert available < needed
+
+    def test_018_exceeds_worst_case(self):
+        """At 0.18um the ~45% advantage dwarfs the 20% requirement."""
+        available = available_clock_reduction(TECH_018)
+        needed = break_even_clock_reduction(25.0)
+        assert available > needed
+
+    def test_available_reduction_values(self):
+        assert available_clock_reduction(TECH_035) == pytest.approx(15.3, abs=0.5)
+        assert available_clock_reduction(TECH_018) == pytest.approx(45.1, abs=0.5)
+
+
+class TestNetPerformance:
+    def test_slowdown_beaten_by_clock_at_018(self):
+        # 25% more cycles on the dual machine.
+        net = net_performance("x", single_cycles=100, dual_cycles=125, tech=TECH_018)
+        assert net.runtime_ratio < 1.0
+        assert net.net_speedup_pct > 0
+
+    def test_slowdown_not_recovered_at_035(self):
+        net = net_performance("x", single_cycles=100, dual_cycles=125, tech=TECH_035)
+        assert net.runtime_ratio > 1.0
+        assert net.net_speedup_pct < 0
+
+    def test_equal_cycles_always_wins(self):
+        for tech in (TECH_035, TECH_018):
+            net = net_performance("x", 100, 100, tech)
+            assert net.net_speedup_pct > 0
+
+    def test_ratio_math(self):
+        net = net_performance("x", 100, 150, TECH_018)
+        assert net.cycle_ratio == pytest.approx(1.5)
+        assert net.runtime_ratio == pytest.approx(net.cycle_ratio * net.clock_ratio)
+
+
+class TestReport:
+    def test_report_mentions_break_even(self):
+        text = format_cycle_time_report()
+        assert "break-even" in text
+        assert "0.35um" in text and "0.18um" in text

@@ -1,0 +1,83 @@
+"""Tests for the calibrated cycle-time delay model."""
+
+import pytest
+
+from repro.timing.palacharla import (
+    MachineShape,
+    TECH_018,
+    TECH_035,
+    TECH_080,
+    TECHNOLOGIES,
+    cycle_time,
+    delay_breakdown,
+    width_penalty,
+)
+
+
+class TestCalibrationAnchors:
+    def test_035um_penalty_is_18_percent(self):
+        """The number the paper reads off Palacharla et al. for 0.35um."""
+        assert width_penalty(TECH_035) == pytest.approx(0.18, abs=0.005)
+
+    def test_018um_penalty_is_82_percent(self):
+        assert width_penalty(TECH_018) == pytest.approx(0.82, abs=0.005)
+
+    def test_penalty_grows_as_features_shrink(self):
+        assert width_penalty(TECH_080) < width_penalty(TECH_035) < width_penalty(TECH_018)
+
+    def test_three_generations_available(self):
+        assert set(TECHNOLOGIES) == {"0.8um", "0.35um", "0.18um"}
+
+    def test_absolute_cycle_times_shrink_with_features(self):
+        t4 = [cycle_time(MachineShape.four_issue(), TECHNOLOGIES[n])
+              for n in ("0.8um", "0.35um", "0.18um")]
+        assert t4[0] > t4[1] > t4[2]
+
+
+class TestModelShape:
+    def test_wider_machines_slower(self):
+        for tech in TECHNOLOGIES.values():
+            assert cycle_time(MachineShape.eight_issue(), tech) > cycle_time(
+                MachineShape.four_issue(), tech
+            )
+
+    def test_monotone_in_window_size(self):
+        small = MachineShape(issue_width=4, window_entries=32, physical_registers=64)
+        big = MachineShape(issue_width=4, window_entries=128, physical_registers=64)
+        assert cycle_time(big, TECH_035) >= cycle_time(small, TECH_035)
+
+    def test_monotone_in_issue_width(self):
+        for width in (2, 4, 8):
+            pass
+        times = [
+            cycle_time(MachineShape(w, 64, 64), TECH_018) for w in (2, 4, 8, 16)
+        ]
+        assert times == sorted(times)
+
+    def test_breakdown_consistent_with_cycle_time(self):
+        shape = MachineShape.eight_issue()
+        breakdown = delay_breakdown(shape, TECH_018)
+        assert breakdown.cycle_time == max(
+            breakdown.rename, breakdown.window, breakdown.regfile, breakdown.bypass
+        )
+        assert breakdown.critical_structure in ("rename", "window", "regfile", "bypass")
+
+    def test_window_is_wakeup_plus_select(self):
+        shape = MachineShape.four_issue()
+        breakdown = delay_breakdown(shape, TECH_035)
+        assert breakdown.window == pytest.approx(
+            breakdown.extras["wakeup"] + breakdown.extras["select"]
+        )
+
+    def test_wire_dominated_structures_grow_at_018(self):
+        """Bypass (pure wire) worsens relative to rename (mostly logic)."""
+        shape = MachineShape.eight_issue()
+        b35 = delay_breakdown(shape, TECH_035)
+        b18 = delay_breakdown(shape, TECH_018)
+        assert b18.bypass / b18.rename > b35.bypass / b35.rename
+
+    def test_paper_shapes(self):
+        eight = MachineShape.eight_issue()
+        four = MachineShape.four_issue()
+        assert (eight.issue_width, eight.window_entries) == (8, 128)
+        assert (four.issue_width, four.window_entries) == (4, 64)

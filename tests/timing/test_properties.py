@@ -1,0 +1,61 @@
+"""Property-based tests for the delay model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.timing.palacharla import (
+    MachineShape,
+    Technology,
+    cycle_time,
+    delay_breakdown,
+    width_penalty,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    gate=st.floats(1.0, 100.0),
+    wire=st.floats(0.0, 1000.0),
+)
+def test_property_delays_positive(gate, wire):
+    tech = Technology("t", 0.25, gate, wire)
+    for shape in (MachineShape.four_issue(), MachineShape.eight_issue()):
+        breakdown = delay_breakdown(shape, tech)
+        assert breakdown.rename > 0
+        assert breakdown.window > 0
+        assert breakdown.regfile > 0
+        assert breakdown.bypass > 0
+        assert breakdown.cycle_time >= max(breakdown.rename, breakdown.bypass)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    gate=st.floats(1.0, 100.0),
+    wire_lo=st.floats(0.0, 100.0),
+    wire_delta=st.floats(0.1, 500.0),
+)
+def test_property_penalty_monotone_in_wire_delay(gate, wire_lo, wire_delta):
+    """More wire delay (relative to gate delay) always makes the wide
+    machine comparatively worse — the physical effect behind the paper's
+    0.18um argument and the calibration's bisection."""
+    lo = Technology("lo", 0.25, gate, wire_lo)
+    hi = Technology("hi", 0.25, gate, wire_lo + wire_delta)
+    assert width_penalty(hi) >= width_penalty(lo) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    width=st.sampled_from([2, 4, 8, 16]),
+    window=st.sampled_from([16, 32, 64, 128, 256]),
+    regs=st.sampled_from([32, 64, 128, 256]),
+    gate=st.floats(5.0, 50.0),
+    wire=st.floats(1.0, 200.0),
+)
+def test_property_cycle_time_monotone_in_every_dimension(width, window, regs, gate, wire):
+    tech = Technology("t", 0.25, gate, wire)
+    base = cycle_time(MachineShape(width, window, regs), tech)
+    wider = cycle_time(MachineShape(width * 2, window, regs), tech)
+    deeper = cycle_time(MachineShape(width, window * 2, regs), tech)
+    more_regs = cycle_time(MachineShape(width, window, regs * 2), tech)
+    assert wider >= base
+    assert deeper >= base
+    assert more_regs >= base

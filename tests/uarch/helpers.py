@@ -1,0 +1,69 @@
+"""Shared helpers for processor tests."""
+
+from repro.core.registers import RegisterAssignment
+from repro.ir.machine_program import MachineProgram
+from repro.isa.instructions import MachineInstruction
+from repro.uarch.config import ProcessorConfig, default_assignment_for
+from repro.uarch.processor import Processor
+from repro.workloads.trace import DynamicInstruction
+
+
+def trace_from_instructions(
+    instructions: list[MachineInstruction],
+    addresses: dict[int, int] | None = None,
+    taken: dict[int, bool] | None = None,
+) -> list[DynamicInstruction]:
+    """Wrap a straight-line instruction list into a trace."""
+    machine = MachineProgram("test")
+    block = machine.add_block("b0")
+    for instr in instructions:
+        block.add(instr)
+    machine.assign_pcs()
+    trace = []
+    addresses = addresses or {}
+    taken = taken or {}
+    for i, (instr, meta) in enumerate(machine.all_instructions()):
+        trace.append(
+            DynamicInstruction(
+                instr,
+                meta,
+                i,
+                address=addresses.get(i, 0x9000 if instr.opcode.is_memory else None),
+                taken=taken.get(i, True if instr.opcode.is_control else None),
+            )
+        )
+    return trace
+
+
+def run_trace(
+    instructions: list[MachineInstruction],
+    config: ProcessorConfig,
+    assignment: RegisterAssignment | None = None,
+    addresses: dict[int, int] | None = None,
+    taken: dict[int, bool] | None = None,
+    log_events: bool = True,
+):
+    """Run a straight-line trace; returns (processor, result)."""
+    trace = trace_from_instructions(instructions, addresses, taken)
+    processor = Processor(config, assignment or default_assignment_for(config))
+    if log_events:
+        processor.event_log = []
+    result = processor.run(trace)
+    return processor, result
+
+
+def issue_cycles(processor, kinds=("issue", "reissue")) -> dict[tuple[int, str], int]:
+    """(seq, role) -> issue cycle, from the event log."""
+    cycles = {}
+    for cycle, kind, seq, role, _cluster in processor.event_log:
+        if kind in kinds and (seq, role) not in cycles:
+            cycles[(seq, role)] = cycle
+    return cycles
+
+
+def completion_cycles(processor) -> dict[tuple[int, str], int]:
+    cycles = {}
+    for cycle, kind, seq, role, _cluster in processor.event_log:
+        if kind == "complete":
+            cycles[(seq, role)] = cycle
+    return cycles

@@ -1,0 +1,109 @@
+"""Tests for register renaming and the physical-register free lists."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.registers import RegisterClass, all_registers, int_reg
+from repro.uarch.rename import ClusterRename, RenameFile
+
+
+def int_file(num_phys=16, arch=None):
+    arch = arch if arch is not None else [int_reg(i) for i in range(4)]
+    return RenameFile(num_phys, arch)
+
+
+class TestInitialState:
+    def test_initial_mappings_ready(self):
+        f = int_file()
+        for i in range(4):
+            phys = f.lookup(int_reg(i))
+            assert f.ready[phys]
+
+    def test_free_count(self):
+        f = int_file(num_phys=16)
+        assert f.free_count == 12
+
+    def test_zero_register_not_mapped(self):
+        f = RenameFile(8, [int_reg(31), int_reg(0)])
+        assert int_reg(31).uid not in f.mapping
+        assert f.free_count == 7
+
+    def test_too_many_arch_regs_rejected(self):
+        with pytest.raises(ValueError):
+            RenameFile(2, [int_reg(i) for i in range(4)])
+
+
+class TestAllocate:
+    def test_allocate_remaps(self):
+        f = int_file()
+        old = f.lookup(int_reg(1))
+        phys, prev = f.allocate(int_reg(1))
+        assert prev == old
+        assert f.lookup(int_reg(1)) == phys
+        assert not f.ready[phys]
+
+    def test_allocate_fresh_register_not_ready(self):
+        f = int_file()
+        phys, _ = f.allocate(int_reg(0))
+        assert not f.ready[phys]
+
+    def test_release_recycles(self):
+        f = int_file()
+        before = f.free_count
+        phys, prev = f.allocate(int_reg(2))
+        f.release(prev)
+        assert f.free_count == before  # one taken, one returned
+
+    def test_undo_restores_mapping(self):
+        f = int_file()
+        old = f.lookup(int_reg(3))
+        phys, prev = f.allocate(int_reg(3))
+        f.undo(int_reg(3), phys, prev)
+        assert f.lookup(int_reg(3)) == old
+        assert f.free_count == 12
+
+
+class TestWaiters:
+    def test_mark_ready_returns_waiters(self):
+        f = int_file()
+        phys, _ = f.allocate(int_reg(0))
+        f.waiters[phys].append("uop-a")
+        f.waiters[phys].append("uop-b")
+        woken = f.mark_ready(phys)
+        assert woken == ["uop-a", "uop-b"]
+        assert f.ready[phys]
+        assert f.waiters[phys] == []
+
+
+class TestClusterRename:
+    def test_classes_separate(self):
+        cr = ClusterRename(16, 16, list(all_registers())[:8] + [r for r in all_registers() if r.rclass is RegisterClass.FP][:4])
+        assert cr.files[RegisterClass.INT] is not cr.files[RegisterClass.FP]
+
+    def test_can_allocate_checks_both_classes(self):
+        accessible = [int_reg(i) for i in range(4)]
+        cr = ClusterRename(5, 2, accessible)
+        assert cr.can_allocate(1, 0)
+        assert cr.can_allocate(0, 2)
+        assert not cr.can_allocate(2, 3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.booleans()), max_size=100))
+def test_property_free_list_conservation(operations):
+    """allocate/release keeps (mapped + free) == total and never aliases."""
+    f = int_file(num_phys=12)
+    undo_stack = []
+    for arch_index, do_release in operations:
+        reg = int_reg(arch_index)
+        if do_release and undo_stack:
+            _reg, _phys, prev = undo_stack.pop(0)
+            if prev is not None:
+                f.release(prev)
+        elif f.free_count > 0:
+            phys, prev = f.allocate(reg)
+            undo_stack.append((reg, phys, prev))
+        mapped = set(f.mapping.values())
+        free = set(f.free)
+        assert not (mapped & free), "a register is both mapped and free"
+        assert len(mapped) == len(f.mapping), "two arch regs share a phys reg"

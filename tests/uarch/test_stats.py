@@ -1,0 +1,60 @@
+"""Tests for simulation statistics."""
+
+from repro.core.distribution import Scenario
+from repro.uarch.stats import ClusterStats, SimulationStats
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        s = SimulationStats(cycles=100, instructions=250)
+        assert s.ipc == 2.5
+
+    def test_ipc_zero_cycles(self):
+        assert SimulationStats().ipc == 0.0
+
+    def test_branch_accuracy(self):
+        s = SimulationStats(branch_predictions=100, branch_mispredictions=7)
+        assert abs(s.branch_accuracy - 0.93) < 1e-9
+
+    def test_branch_accuracy_no_branches(self):
+        assert SimulationStats().branch_accuracy == 1.0
+
+    def test_cache_miss_rates(self):
+        s = SimulationStats(dcache_accesses=200, dcache_misses=20,
+                            icache_accesses=100, icache_misses=1)
+        assert s.dcache_miss_rate == 0.1
+        assert s.icache_miss_rate == 0.01
+
+    def test_dual_fraction(self):
+        s = SimulationStats(instructions=100, dual_distributed=25)
+        assert s.dual_fraction == 0.25
+
+    def test_issue_disorder_empty(self):
+        assert SimulationStats().issue_disorder == 0.0
+
+
+class TestClusterStats:
+    def test_note_issue_aggregates_by_class(self):
+        c = ClusterStats()
+        c.note_issue("integer")
+        c.note_issue("integer")
+        c.note_issue("fp")
+        assert c.issued == 3
+        assert c.issued_by_class == {"integer": 2, "fp": 1}
+
+
+class TestSummary:
+    def test_summary_contains_headline_numbers(self):
+        s = SimulationStats(
+            cycles=1000,
+            instructions=2000,
+            dual_distributed=100,
+            replay_exceptions=3,
+            clusters=[ClusterStats(), ClusterStats()],
+        )
+        s.by_scenario[Scenario.DUAL_OPERAND] = 50
+        text = s.summary()
+        assert "1000" in text
+        assert "2.000" in text  # IPC
+        assert "replay exceptions" in text
+        assert "cluster 1" in text

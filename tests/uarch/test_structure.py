@@ -1,0 +1,76 @@
+"""Experiment E3 — Figure 1: the dual-cluster processor's composition.
+
+Figure 1 is a block diagram; its reproduction is structural: a processor
+instance must contain, per cluster, the components the figure draws —
+dispatch queue, register files with renaming, operand/result transfer
+buffers, functional units (including the divider) — plus the shared
+front end (instruction cache, branch prediction, distribution) and the
+shared data cache.
+"""
+
+from repro.isa.registers import RegisterClass
+from repro.uarch.config import (
+    default_assignment_for,
+    dual_cluster_config,
+    single_cluster_config,
+)
+from repro.uarch.processor import Processor
+
+
+def dual_processor():
+    config = dual_cluster_config()
+    return Processor(config, default_assignment_for(config))
+
+
+class TestFigure1Inventory:
+    def test_two_clusters(self):
+        assert len(dual_processor().clusters) == 2
+
+    def test_each_cluster_has_dispatch_queue(self):
+        for cluster in dual_processor().clusters:
+            assert cluster.queue_free == 64
+
+    def test_each_cluster_has_both_register_files(self):
+        for cluster in dual_processor().clusters:
+            assert RegisterClass.INT in cluster.rename.files
+            assert RegisterClass.FP in cluster.rename.files
+            assert cluster.rename.files[RegisterClass.INT].num_physical == 64
+
+    def test_each_cluster_has_transfer_buffers(self):
+        for cluster in dual_processor().clusters:
+            assert cluster.operand_buffer.capacity == 8
+            assert cluster.result_buffer.capacity == 8
+
+    def test_each_cluster_has_a_divider(self):
+        for cluster in dual_processor().clusters:
+            assert len(cluster.divider_free_at) == 1
+
+    def test_shared_front_end_and_caches(self):
+        p = dual_processor()
+        assert p.icache is not None
+        assert p.dcache is not None
+        assert p.predictor is not None
+        # Shared, not per cluster: a single instance each.
+        assert p.icache is not p.dcache
+
+    def test_cluster_rename_covers_only_accessible_registers(self):
+        """A cluster maps its local registers plus the globals, not the
+        other cluster's locals (Section 2.1: a global needs a physical
+        register in each cluster; a local needs one in its home only)."""
+        p = dual_processor()
+        int_file0 = p.clusters[0].rename.files[RegisterClass.INT]
+        int_file1 = p.clusters[1].rename.files[RegisterClass.INT]
+        from repro.isa.registers import int_reg
+
+        assert int_reg(0).uid in int_file0.mapping
+        assert int_reg(0).uid not in int_file1.mapping
+        assert int_reg(1).uid in int_file1.mapping
+        # Globals in both.
+        assert int_reg(30).uid in int_file0.mapping
+        assert int_reg(30).uid in int_file1.mapping
+
+    def test_single_cluster_has_no_transfer_buffers(self):
+        config = single_cluster_config()
+        p = Processor(config, default_assignment_for(config))
+        assert p.clusters[0].operand_buffer.capacity == 0
+        assert p.clusters[0].result_buffer.capacity == 0

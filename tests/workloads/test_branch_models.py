@@ -1,0 +1,94 @@
+"""Tests for branch behaviour models."""
+
+import random
+
+import pytest
+
+from repro.workloads.branch_models import (
+    BernoulliBranch,
+    LoopBranch,
+    MarkovBranch,
+    PatternBranch,
+)
+
+
+def run(model, n, seed=0):
+    rng = random.Random(seed)
+    return [model.next_taken(rng) for _ in range(n)]
+
+
+class TestLoopBranch:
+    def test_exact_trip_count(self):
+        m = LoopBranch(trip_count=5)
+        outcomes = run(m, 10)
+        assert outcomes == [True] * 4 + [False] + [True] * 4 + [False]
+
+    def test_trip_count_one_never_taken(self):
+        m = LoopBranch(trip_count=1)
+        assert run(m, 4) == [False] * 4
+
+    def test_jitter_varies_trip_counts(self):
+        m = LoopBranch(trip_count=10, jitter=5)
+        outcomes = run(m, 500, seed=1)
+        runs = []
+        current = 0
+        for taken in outcomes:
+            if taken:
+                current += 1
+            else:
+                runs.append(current + 1)
+                current = 0
+        assert len(set(runs)) > 1
+
+    def test_invalid_trip_count(self):
+        with pytest.raises(ValueError):
+            LoopBranch(0)
+
+    def test_reset(self):
+        m = LoopBranch(trip_count=4)
+        first = run(m, 7)
+        m.reset()
+        assert run(m, 7) == first
+
+
+class TestPatternBranch:
+    def test_pattern_repeats(self):
+        m = PatternBranch("TTN")
+        assert run(m, 6) == [True, True, False, True, True, False]
+
+    def test_invalid_pattern(self):
+        with pytest.raises(ValueError):
+            PatternBranch("TXT")
+        with pytest.raises(ValueError):
+            PatternBranch("")
+
+    def test_reset(self):
+        m = PatternBranch("TN")
+        run(m, 3)
+        m.reset()
+        assert run(m, 2) == [True, False]
+
+
+class TestBernoulli:
+    def test_frequency_close_to_p(self):
+        m = BernoulliBranch(0.7)
+        outcomes = run(m, 10_000, seed=2)
+        assert 0.67 < sum(outcomes) / len(outcomes) < 0.73
+
+    def test_extremes(self):
+        assert all(run(BernoulliBranch(1.0), 50))
+        assert not any(run(BernoulliBranch(0.0), 50))
+
+
+class TestMarkov:
+    def test_high_repeat_probability_creates_bursts(self):
+        m = MarkovBranch(p_repeat=0.95)
+        outcomes = run(m, 2000, seed=3)
+        switches = sum(1 for a, b in zip(outcomes, outcomes[1:]) if a != b)
+        assert switches < 300  # far fewer than the ~1000 of a fair coin
+
+    def test_reset_restores_start_state(self):
+        m = MarkovBranch(p_repeat=1.0, start_taken=True)
+        assert run(m, 3) == [True] * 3
+        m.reset()
+        assert run(m, 3) == [True] * 3

@@ -1,0 +1,137 @@
+"""Tests for the synthetic workload generator."""
+
+from repro.workloads.generator import (
+    ArraySpec,
+    LoopSpec,
+    WorkloadSpec,
+    generate_workload,
+)
+
+
+def small_spec(**overrides):
+    base = dict(
+        name="test",
+        seed=5,
+        arrays=[
+            ArraySpec("a", kind="strided", size=1 << 16),
+            ArraySpec("f", kind="strided", size=1 << 16, fp=True),
+        ],
+        loops=[
+            LoopSpec(body_blocks=2, block_size=8, trip_count=10, arrays=("a", "f")),
+            LoopSpec(body_blocks=1, block_size=6, trip_count=5, diamond_prob=0.5, arrays=("a",)),
+        ],
+        mix={
+            "int_alu": 0.35,
+            "int_mul": 0.02,
+            "fp_alu": 0.2,
+            "fp_div": 0.02,
+            "load": 0.26,
+            "store": 0.15,
+        },
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        w1 = generate_workload(small_spec())
+        w2 = generate_workload(small_spec())
+        assert w1.program.format() == w2.program.format()
+
+    def test_different_seeds_differ(self):
+        w1 = generate_workload(small_spec(seed=1))
+        w2 = generate_workload(small_spec(seed=2))
+        assert w1.program.format() != w2.program.format()
+
+
+class TestStructure:
+    def test_program_finalized(self):
+        w = generate_workload(small_spec())
+        uids = [i.uid for i in w.program.all_instructions()]
+        assert uids == list(range(len(uids)))
+
+    def test_streams_cover_arrays(self):
+        w = generate_workload(small_spec())
+        assert set(w.streams) == {"a", "f"}
+
+    def test_memory_instructions_annotated(self):
+        w = generate_workload(small_spec())
+        annotated = [
+            i.mem_stream
+            for i in w.program.all_instructions()
+            if i.opcode.is_memory and i.mem_stream
+        ]
+        assert annotated
+        assert set(annotated) <= {"a", "f"}
+
+    def test_branches_have_models(self):
+        w = generate_workload(small_spec())
+        for instr in w.program.all_instructions():
+            if instr.opcode.is_conditional_branch:
+                assert instr.branch_model in w.behaviors
+
+    def test_loops_have_back_edges(self):
+        w = generate_workload(small_spec())
+        assert w.program.cfg.back_edges()
+
+    def test_code_replicas_scale_size(self):
+        small = generate_workload(small_spec(code_replicas=1))
+        big = generate_workload(small_spec(code_replicas=4))
+        assert big.program.instruction_count() > 3 * small.program.instruction_count()
+
+    def test_fp_arrays_make_fp_loads(self):
+        from repro.isa.opcodes import Opcode
+
+        spec = small_spec(
+            arrays=[ArraySpec("f", kind="strided", size=1 << 16, fp=True)],
+            loops=[LoopSpec(body_blocks=3, block_size=20, trip_count=10, arrays=("f",))],
+        )
+        w = generate_workload(spec)
+        fp_loads = [
+            i for i in w.program.all_instructions()
+            if i.opcode is Opcode.LDT and i.mem_stream == "f"
+        ]
+        assert fp_loads
+
+    def test_stack_and_global_pointers_exist(self):
+        w = generate_workload(small_spec())
+        assert w.program.stack_pointer is not None
+        assert w.program.global_pointer is not None
+
+    def test_accumulator_drains_present(self):
+        """Each loop's accumulators are stored after the loop (anti-DCE)."""
+        from repro.isa.opcodes import Opcode
+
+        w = generate_workload(small_spec())
+        stores = [i for i in w.program.all_instructions() if i.opcode.is_store]
+        assert stores
+
+
+class TestMix:
+    def test_mix_proportions_roughly_respected(self):
+        spec = small_spec(
+            seed=9,
+            loops=[LoopSpec(body_blocks=4, block_size=30, trip_count=10, arrays=("a", "f"))],
+        )
+        w = generate_workload(spec)
+        ops = [i for i in w.program.all_instructions() if not i.opcode.is_control]
+        loads = sum(1 for i in ops if i.opcode.is_load)
+        # Requested 26% loads; array-base loads in the preamble add a few.
+        assert 0.1 < loads / len(ops) < 0.45
+
+    def test_pure_integer_mix_has_no_fp(self):
+        spec = small_spec(
+            mix={
+                "int_alu": 0.5,
+                "int_mul": 0.0,
+                "fp_alu": 0.0,
+                "fp_div": 0.0,
+                "load": 0.3,
+                "store": 0.2,
+            },
+            arrays=[ArraySpec("a", kind="strided")],
+            loops=[LoopSpec(body_blocks=2, block_size=10, trip_count=10, arrays=("a",))],
+        )
+        w = generate_workload(spec)
+        assert not any(i.opcode.iclass.is_fp for i in w.program.all_instructions())

@@ -1,0 +1,80 @@
+"""Tests for the SPEC92 benchmark profiles."""
+
+import pytest
+
+from repro.isa.opcodes import InstrClass
+from repro.workloads.spec92 import (
+    DEFAULT_TRACE_LENGTH,
+    PAPER_TABLE2,
+    SPEC92,
+    build_benchmark,
+)
+
+ALL_NAMES = ["compress", "doduc", "gcc1", "ora", "su2cor", "tomcatv"]
+
+
+class TestRegistry:
+    def test_all_six_benchmarks_present(self):
+        assert sorted(SPEC92) == sorted(ALL_NAMES)
+
+    def test_paper_reference_covers_all(self):
+        assert sorted(PAPER_TABLE2) == sorted(ALL_NAMES)
+
+    def test_paper_values_match_table2(self):
+        assert PAPER_TABLE2["compress"] == (-14, +6)
+        assert PAPER_TABLE2["ora"] == (-5, -22)
+        assert PAPER_TABLE2["tomcatv"] == (-41, -19)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_benchmark("spice")
+
+    def test_default_trace_length_positive(self):
+        assert DEFAULT_TRACE_LENGTH >= 10_000
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {name: build_benchmark(name) for name in ALL_NAMES}
+
+
+class TestCharacter:
+    def test_all_build_and_finalize(self, workloads):
+        for w in workloads.values():
+            assert w.program.instruction_count() > 30
+            assert w.streams
+            assert w.behaviors
+
+    def test_integer_benchmarks_have_no_fp(self, workloads):
+        for name in ("compress", "gcc1"):
+            classes = {i.iclass for i in workloads[name].program.all_instructions()}
+            assert InstrClass.FP_OTHER not in classes
+            assert InstrClass.FP_DIVIDE not in classes
+
+    def test_fp_benchmarks_have_fp(self, workloads):
+        for name in ("doduc", "ora", "su2cor", "tomcatv"):
+            classes = {i.iclass for i in workloads[name].program.all_instructions()}
+            assert InstrClass.FP_OTHER in classes
+
+    def test_ora_has_divides(self, workloads):
+        classes = {i.iclass for i in workloads["ora"].program.all_instructions()}
+        assert InstrClass.FP_DIVIDE in classes
+
+    def test_gcc1_is_the_biggest_code(self, workloads):
+        sizes = {n: w.program.instruction_count() for n, w in workloads.items()}
+        assert sizes["gcc1"] == max(sizes.values())
+
+    def test_tight_kernels_are_small(self, workloads):
+        sizes = {n: w.program.instruction_count() for n, w in workloads.items()}
+        # ora and the vector kernels are tiny next to gcc1.
+        assert sizes["ora"] < sizes["gcc1"] / 5
+        assert sizes["tomcatv"] < sizes["gcc1"] / 5
+
+    def test_tomcatv_touches_multi_megabyte_arrays(self, workloads):
+        spec = workloads["tomcatv"].spec
+        assert max(a.size for a in spec.arrays) >= 1 << 21
+
+    def test_deterministic_builds(self):
+        w1 = build_benchmark("compress")
+        w2 = build_benchmark("compress")
+        assert w1.program.format() == w2.program.format()

@@ -1,0 +1,124 @@
+"""Tests for trace generation."""
+
+from repro.compiler.pipeline import compile_program
+from repro.core.registers import RegisterAssignment
+from repro.ir.builder import ProgramBuilder
+from repro.isa.opcodes import Opcode
+from repro.workloads.address_streams import StridedStream
+from repro.workloads.branch_models import LoopBranch
+from repro.workloads.tracegen import SPILL_BASE, TraceGenerator
+
+
+def compiled_loop():
+    b = ProgramBuilder("loop")
+    sp = b.stack_pointer_value()
+    b.block("pre", count=1)
+    b.op(Opcode.LDA, "n", imm=4)
+    b.block("body", count=4)
+    b.load("x", sp, stream="arr")
+    b.op(Opcode.SUBQ, "n", "n", "n")
+    b.branch(Opcode.BNE, "n", "body", model="loop")
+    b.block("post", count=1)
+    b.ret()
+    prog = b.build()
+    prog.cfg.block("body").set_successors(["body", "post"], [0.75, 0.25])
+    result = compile_program(prog, RegisterAssignment.single_cluster())
+    return result.machine
+
+
+def generator(machine, **kw):
+    defaults = dict(
+        streams={"arr": StridedStream(0x1000, 8, 64)},
+        behaviors={"loop": LoopBranch(4)},
+        seed=3,
+    )
+    defaults.update(kw)
+    return TraceGenerator(machine, **defaults)
+
+
+class TestBasics:
+    def test_seq_equals_index(self):
+        trace = generator(compiled_loop()).generate(100)
+        assert [d.seq for d in trace] == list(range(len(trace)))
+
+    def test_requested_length_respected(self):
+        trace = generator(compiled_loop()).generate(57)
+        assert len(trace) == 57
+
+    def test_deterministic(self):
+        t1 = generator(compiled_loop()).generate(80)
+        t2 = generator(compiled_loop()).generate(80)
+        assert [repr(d) for d in t1] == [repr(d) for d in t2]
+
+    def test_program_loops_on_exit(self):
+        machine = compiled_loop()
+        trace = generator(machine).generate(200)
+        entry_pc = machine.entry.meta[0].pc
+        assert sum(1 for d in trace if d.pc == entry_pc) > 1
+
+    def test_no_loop_program_stops_at_exit(self):
+        machine = compiled_loop()
+        trace = generator(machine, loop_program=False).generate(10_000)
+        # One pass: 1 + 4 loop iterations * 3 + 1 instruction, roughly.
+        assert len(trace) < 30
+
+
+class TestDirections:
+    def test_loop_branch_follows_model(self):
+        trace = generator(compiled_loop()).generate(60)
+        directions = [d.taken for d in trace if d.is_conditional]
+        # LoopBranch(4): pattern T,T,T,F repeating.
+        assert directions[:4] == [True, True, True, False]
+
+    def test_taken_branch_goes_to_target(self):
+        machine = compiled_loop()
+        trace = generator(machine).generate(30)
+        body_pc = machine.block("body").meta[0].pc
+        for i, d in enumerate(trace[:-1]):
+            if d.is_conditional and d.taken:
+                assert trace[i + 1].pc == body_pc
+
+    def test_not_taken_falls_through(self):
+        machine = compiled_loop()
+        trace = generator(machine).generate(30)
+        post_pc = machine.block("post").meta[0].pc
+        for i, d in enumerate(trace[:-1]):
+            if d.is_conditional and d.taken is False:
+                assert trace[i + 1].pc == post_pc
+
+
+class TestAddresses:
+    def test_annotated_loads_use_stream(self):
+        trace = generator(compiled_loop()).generate(60)
+        arr_addrs = [
+            d.address for d in trace if d.instr.opcode.is_load and d.meta.mem_stream == "arr"
+        ]
+        assert arr_addrs
+        assert all(0x1000 <= a < 0x1040 for a in arr_addrs)
+
+    def test_spill_streams_map_to_spill_slots(self):
+        from repro.ir.machine_program import MachineInstrMeta, MachineProgram
+        from repro.isa.instructions import MachineInstruction
+        from repro.isa.registers import int_reg
+
+        mp = MachineProgram("sp")
+        blk = mp.add_block("b0")
+        blk.add(
+            MachineInstruction(Opcode.LDQ, dest=int_reg(0), srcs=(int_reg(30),)),
+            MachineInstrMeta(mem_stream="__spill3"),
+        )
+        mp.assign_pcs()
+        trace = TraceGenerator(mp).generate(1)
+        assert trace[0].address == SPILL_BASE + 24
+
+    def test_unannotated_memory_gets_default_stream(self):
+        from repro.ir.machine_program import MachineProgram
+        from repro.isa.instructions import MachineInstruction
+        from repro.isa.registers import int_reg
+
+        mp = MachineProgram("d")
+        blk = mp.add_block("b0")
+        blk.add(MachineInstruction(Opcode.LDQ, dest=int_reg(0), srcs=(int_reg(30),)))
+        mp.assign_pcs()
+        trace = TraceGenerator(mp).generate(1)
+        assert trace[0].address is not None

@@ -12,17 +12,31 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Optional, Sequence
 
 
-def _cmd_table2(args: argparse.Namespace) -> None:
+def _evaluation_options(args: argparse.Namespace):
     from repro.experiments.harness import EvaluationOptions
+
+    return EvaluationOptions(
+        trace_length=args.trace_length,
+        self_check=getattr(args, "self_check", False),
+        cycle_budget=getattr(args, "cycle_budget", 0),
+    )
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
     from repro.experiments.table2 import format_table2, run_table2
 
-    result = run_table2(
-        args.benchmarks or None, EvaluationOptions(trace_length=args.trace_length)
-    )
+    result = run_table2(args.benchmarks or None, _evaluation_options(args))
     print(format_table2(result, detailed=args.detailed))
+    if result.failures:
+        print(
+            f"warning: {len(result.failures)} benchmark(s) failed; see the "
+            "failure table above",
+            file=sys.stderr,
+        )
 
 
 def _cmd_scenarios(_args: argparse.Namespace) -> None:
@@ -44,15 +58,12 @@ def _cmd_cycle_time(args: argparse.Namespace) -> None:
         format_cycle_time_analysis,
         run_cycle_time_analysis,
     )
-    from repro.experiments.harness import EvaluationOptions
     from repro.experiments.table2 import run_table2
     from repro.timing.analysis import format_cycle_time_report
 
     print(format_cycle_time_report())
     print()
-    table2 = run_table2(
-        args.benchmarks or None, EvaluationOptions(trace_length=args.trace_length)
-    )
+    table2 = run_table2(args.benchmarks or None, _evaluation_options(args))
     print(format_cycle_time_analysis(run_cycle_time_analysis(table2)))
 
 
@@ -87,6 +98,22 @@ def _cmd_ablations(args: argparse.Namespace) -> None:
         print()
 
 
+def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="enable the simulator's per-cycle invariant checker "
+        "(observational; cycle counts are unchanged)",
+    )
+    parser.add_argument(
+        "--cycle-budget",
+        type=int,
+        default=0,
+        metavar="N",
+        help="watchdog cycle budget per simulation (0 = derived default)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -98,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     t2.add_argument("--trace-length", type=int, default=120_000)
     t2.add_argument("--benchmarks", nargs="*", default=None)
     t2.add_argument("--detailed", action="store_true", default=True)
+    _add_robustness_flags(t2)
     t2.set_defaults(func=_cmd_table2)
 
     sc = sub.add_parser("scenarios", help="Figures 2-5 execution timelines")
@@ -109,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     ct = sub.add_parser("cycle-time", help="the Section 4.2/5 analysis")
     ct.add_argument("--trace-length", type=int, default=40_000)
     ct.add_argument("--benchmarks", nargs="*", default=None)
+    _add_robustness_flags(ct)
     ct.set_defaults(func=_cmd_cycle_time)
 
     ab = sub.add_parser("ablations", help="design-choice sweeps")
@@ -156,8 +185,16 @@ def _cmd_report(args: argparse.Namespace) -> None:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    args.func(args)
+    try:
+        args.func(args)
+    except ReproError as error:
+        # One-line diagnostic instead of a traceback; the exit code
+        # distinguishes configuration (2) from simulation (3) failures.
+        print(f"error: {error.brief()}", file=sys.stderr)
+        raise SystemExit(error.exit_code) from None
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,155 @@
+"""Structured exception hierarchy for the reproduction.
+
+Every failure the pipeline can diagnose is raised as a
+:class:`ReproError` subclass carrying machine-readable context — the
+benchmark, the simulated cycle, the cluster, and the offending dynamic
+instruction where each is known.  Tooling (the CLI, the Table 2 sweep's
+graceful-degradation path, the fault-injection matrix) dispatches on the
+type and reads :attr:`ReproError.context` instead of parsing messages.
+
+Taxonomy::
+
+    ReproError
+    ├── ConfigError        (also ValueError)  bad machine config / register
+    │                                         assignment / experiment setup
+    ├── TraceError         (also ValueError)  malformed or corrupted trace
+    ├── CompileError                          compilation pipeline failure
+    └── SimulationError                       the cycle-level model failed
+        ├── WatchdogTimeout                   cycle budget or forward-progress
+        │                                     watchdog expired
+        └── InvariantViolation                a self-check invariant broke
+
+:class:`ConfigError` and :class:`TraceError` additionally subclass
+``ValueError``, and :class:`SimulationError` keeps the name the simulator
+has always raised, so pre-existing ``except ValueError`` /
+``except SimulationError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+
+class ReproError(Exception):
+    """Base class for all diagnosable failures.
+
+    Args:
+        message: one-line human-readable description.
+        benchmark: benchmark name, when the failure is attributable.
+        cycle: simulated cycle at which the failure was detected.
+        cluster: cluster index involved, if any.
+        seq: dynamic sequence number of the offending instruction.
+        instruction: formatted offending (micro-)instruction.
+        diagnostics: multi-line diagnostic dump (e.g. the simulator's
+            recent-event ring buffer) attached for post-mortems.
+        extra: any further machine-readable key/value context.
+    """
+
+    #: CLI exit code family; subclasses override.
+    exit_code = 4
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        benchmark: Optional[str] = None,
+        cycle: Optional[int] = None,
+        cluster: Optional[int] = None,
+        seq: Optional[int] = None,
+        instruction: Optional[str] = None,
+        diagnostics: Optional[Sequence[str]] = None,
+        **extra: Any,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.context: dict[str, Any] = {}
+        for key, value in (
+            ("benchmark", benchmark),
+            ("cycle", cycle),
+            ("cluster", cluster),
+            ("seq", seq),
+            ("instruction", instruction),
+        ):
+            if value is not None:
+                self.context[key] = value
+        self.context.update({k: v for k, v in extra.items() if v is not None})
+        self.diagnostics: list[str] = list(diagnostics or ())
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def benchmark(self) -> Optional[str]:
+        return self.context.get("benchmark")
+
+    @property
+    def cycle(self) -> Optional[int]:
+        return self.context.get("cycle")
+
+    @property
+    def cluster(self) -> Optional[int]:
+        return self.context.get("cluster")
+
+    @property
+    def seq(self) -> Optional[int]:
+        return self.context.get("seq")
+
+    def brief(self) -> str:
+        """One-line diagnostic: type, message, and compact context."""
+        ctx = " ".join(f"{k}={v}" for k, v in self.context.items())
+        text = f"{type(self).__name__}: {self.message}"
+        return f"{text} [{ctx}]" if ctx else text
+
+    def __str__(self) -> str:
+        parts = [self.brief()]
+        if self.diagnostics:
+            parts.append("--- diagnostics ---")
+            parts.extend(self.diagnostics)
+        return "\n".join(parts)
+
+
+class ConfigError(ReproError, ValueError):
+    """A machine configuration, register assignment, or experiment request
+    is inconsistent (detected before any simulation runs)."""
+
+    exit_code = 2
+
+
+class TraceError(ReproError, ValueError):
+    """A dynamic trace is malformed or does not match its program."""
+
+    exit_code = 2
+
+
+class CompileError(ReproError):
+    """The compilation pipeline failed for a workload."""
+
+    exit_code = 4
+
+
+class SimulationError(ReproError):
+    """The cycle-level model failed mid-run (deadlock, overflow, model bug)."""
+
+    exit_code = 3
+
+
+class WatchdogTimeout(SimulationError):
+    """The simulation exceeded its cycle budget or stopped making forward
+    progress for longer than the watchdog window."""
+
+    exit_code = 3
+
+
+class InvariantViolation(SimulationError):
+    """A ``self_check`` invariant failed — the model state is corrupt."""
+
+    exit_code = 3
+
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "CompileError",
+    "SimulationError",
+    "WatchdogTimeout",
+    "InvariantViolation",
+]

@@ -17,13 +17,15 @@ The methodology mirrors Section 4:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
 
 from repro.compiler.pipeline import CompilationResult, CompilerOptions, compile_program
 from repro.core.partition.base import Partitioner
 from repro.core.partition.local import LocalScheduler
 from repro.core.registers import RegisterAssignment
+from repro.errors import ReproError
+from repro.robustness.validate import validate_run
 from repro.uarch.config import ProcessorConfig, dual_cluster_config, single_cluster_config
 from repro.uarch.processor import SimulationResult, simulate
 from repro.workloads.generator import Workload
@@ -61,6 +63,36 @@ class BenchmarkEvaluation:
 
 
 @dataclass
+class BenchmarkFailure:
+    """Structured record of one benchmark that failed during a sweep.
+
+    Sweeps catch per-benchmark :class:`~repro.errors.ReproError`\\ s into
+    these records instead of aborting, so one sabotaged benchmark never
+    costs the results of the others (graceful degradation)."""
+
+    benchmark: str
+    error_type: str
+    message: str
+    context: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_error(cls, benchmark: str, error: ReproError) -> "BenchmarkFailure":
+        return cls(
+            benchmark=benchmark,
+            error_type=type(error).__name__,
+            message=error.message,
+            context=dict(error.context),
+        )
+
+    def format(self) -> str:
+        ctx = " ".join(
+            f"{k}={v}" for k, v in self.context.items() if k != "benchmark"
+        )
+        line = f"{self.benchmark:<10} {self.error_type:<20} {self.message}"
+        return f"{line} [{ctx}]" if ctx else line
+
+
+@dataclass
 class EvaluationOptions:
     """Knobs for :func:`evaluate_workload`."""
 
@@ -71,6 +103,23 @@ class EvaluationOptions:
     dual_config: Optional[ProcessorConfig] = None
     dual_assignment: Optional[RegisterAssignment] = None
     compiler: CompilerOptions = field(default_factory=CompilerOptions)
+    #: Pre-flight validation of configs, assignments, and traces
+    #: (repro.robustness.validate) before each simulation.
+    validate: bool = True
+    #: Enable the simulator's per-cycle invariant checker.
+    self_check: bool = False
+    #: Watchdog cycle budget per simulation (0 = derived default).
+    cycle_budget: int = 0
+
+    def apply_robustness(self, config: ProcessorConfig) -> ProcessorConfig:
+        """Thread the self-check / cycle-budget knobs into a machine config."""
+        if config.self_check == self.self_check and not self.cycle_budget:
+            return config
+        return replace(
+            config,
+            self_check=self.self_check,
+            cycle_budget=self.cycle_budget or config.cycle_budget,
+        )
 
 
 def evaluate_workload(
@@ -78,8 +127,10 @@ def evaluate_workload(
 ) -> BenchmarkEvaluation:
     """Run the full Section 4 methodology on one workload."""
     options = options or EvaluationOptions()
-    single_config = options.single_config or single_cluster_config()
-    dual_config = options.dual_config or dual_cluster_config()
+    single_config = options.apply_robustness(
+        options.single_config or single_cluster_config()
+    )
+    dual_config = options.apply_robustness(options.dual_config or dual_cluster_config())
     dual_assignment = options.dual_assignment or RegisterAssignment.even_odd_dual()
     partitioner = options.partitioner or LocalScheduler()
 
@@ -103,7 +154,31 @@ def evaluate_workload(
         rescheduled.machine, workload.streams, workload.behaviors, seed=options.trace_seed
     ).generate(options.trace_length)
 
-    single = simulate(native_trace, single_config, RegisterAssignment.single_cluster())
+    single_assignment = RegisterAssignment.single_cluster()
+    if options.validate:
+        validate_run(
+            single_config,
+            single_assignment,
+            native_trace,
+            native.machine,
+            benchmark=workload.name,
+        )
+        validate_run(
+            dual_config,
+            dual_assignment,
+            native_trace,
+            native.machine,
+            benchmark=workload.name,
+        )
+        validate_run(
+            dual_config,
+            dual_assignment,
+            local_trace,
+            rescheduled.machine,
+            benchmark=workload.name,
+        )
+
+    single = simulate(native_trace, single_config, single_assignment)
     dual_none = simulate(native_trace, dual_config, dual_assignment)
     dual_local = simulate(local_trace, dual_config, dual_assignment)
 

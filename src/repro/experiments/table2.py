@@ -22,15 +22,27 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.errors import ConfigError, ReproError
 from repro.experiments.harness import (
     BenchmarkEvaluation,
+    BenchmarkFailure,
     EvaluationOptions,
     evaluate_workload,
 )
 from repro.workloads.spec92 import PAPER_TABLE2, SPEC92
+
+
+def _unknown_benchmark(name: str, valid: Iterable[str]) -> ConfigError:
+    valid = sorted(valid)
+    message = f"unknown benchmark {name!r}; valid benchmarks: {', '.join(valid)}"
+    close = difflib.get_close_matches(name, valid, n=1)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    return ConfigError(message, benchmark=name)
 
 
 @dataclass
@@ -48,24 +60,42 @@ class Table2Row:
 @dataclass
 class Table2Result:
     rows: list[Table2Row]
+    #: Benchmarks that failed (graceful degradation): the sweep always
+    #: completes and reports the rows it could compute plus these records.
+    failures: list[BenchmarkFailure] = field(default_factory=list)
 
     def row(self, benchmark: str) -> Table2Row:
         for r in self.rows:
             if r.benchmark == benchmark:
                 return r
-        raise KeyError(benchmark)
+        raise _unknown_benchmark(benchmark, [r.benchmark for r in self.rows])
 
 
 def run_table2(
     benchmarks: Optional[Iterable[str]] = None,
     options: Optional[EvaluationOptions] = None,
 ) -> Table2Result:
-    """Run the Table 2 experiment over the selected benchmarks."""
+    """Run the Table 2 experiment over the selected benchmarks.
+
+    Unknown benchmark names are rejected up front with a
+    :class:`ConfigError`.  A benchmark whose compile/trace/simulation
+    fails with a :class:`ReproError` becomes a
+    :class:`~repro.experiments.harness.BenchmarkFailure` record in
+    ``result.failures``; the remaining rows are still computed.
+    """
     names = list(benchmarks) if benchmarks is not None else sorted(SPEC92)
-    rows: list[Table2Row] = []
     for name in names:
-        workload = SPEC92[name]()
-        evaluation = evaluate_workload(workload, options)
+        if name not in SPEC92:
+            raise _unknown_benchmark(name, SPEC92)
+    rows: list[Table2Row] = []
+    failures: list[BenchmarkFailure] = []
+    for name in names:
+        try:
+            workload = SPEC92[name]()
+            evaluation = evaluate_workload(workload, options)
+        except ReproError as error:
+            failures.append(BenchmarkFailure.from_error(name, error))
+            continue
         paper = PAPER_TABLE2.get(name)
         rows.append(
             Table2Row(
@@ -77,7 +107,7 @@ def run_table2(
                 evaluation=evaluation,
             )
         )
-    return Table2Result(rows)
+    return Table2Result(rows, failures)
 
 
 def format_table2(result: Table2Result, detailed: bool = False) -> str:
@@ -93,11 +123,18 @@ def format_table2(result: Table2Result, detailed: bool = False) -> str:
             f"{row.benchmark:<10} {row.pct_none:+8.1f} {row.pct_local:+8.1f}   "
             f"{paper_none:>10} {paper_local:>11}"
         )
+    if result.failures:
+        lines.append("")
+        lines.append(f"failed benchmarks ({len(result.failures)}):")
+        lines.append(f"{'benchmark':<10} {'error':<20} detail")
+        for failure in result.failures:
+            lines.append(failure.format())
     if detailed:
         lines.append("")
         lines.append(
             f"{'benchmark':<10} {'1-clu cyc':>10} {'none cyc':>10} {'local cyc':>10} "
-            f"{'dual% none':>10} {'dual% local':>11} {'replays n/l':>11} {'br acc':>7} {'d$ miss':>8}"
+            f"{'dual% none':>10} {'dual% local':>11} {'replays n/l':>11} "
+            f"{'br acc':>7} {'d$ miss':>8}"
         )
         for row in result.rows:
             ev = row.evaluation
@@ -106,7 +143,8 @@ def format_table2(result: Table2Result, detailed: bool = False) -> str:
                 f"{ev.dual_local.cycles:>10} "
                 f"{100 * ev.dual_none.stats.dual_fraction:>9.1f}% "
                 f"{100 * ev.dual_local.stats.dual_fraction:>10.1f}% "
-                f"{ev.dual_none.stats.replay_exceptions:>5}/{ev.dual_local.stats.replay_exceptions:<5} "
+                f"{ev.dual_none.stats.replay_exceptions:>5}"
+                f"/{ev.dual_local.stats.replay_exceptions:<5} "
                 f"{100 * ev.single.stats.branch_accuracy:>6.1f}% "
                 f"{100 * ev.single.stats.dcache_miss_rate:>7.1f}%"
             )

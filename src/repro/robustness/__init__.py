@@ -1,0 +1,58 @@
+"""Robustness substrate: validation, invariants, fault injection, checkpoints.
+
+The headline numbers of the reproduction are only as trustworthy as the
+simulator's failure behaviour.  This package makes failures *loud and
+typed* instead of silent or hanging:
+
+* :mod:`repro.robustness.validate` — pre-simulation validation of
+  configurations, register assignments, machine programs, and traces;
+* :mod:`repro.robustness.invariants` — the opt-in per-cycle invariant
+  checker behind ``ProcessorConfig.self_check`` (observes, never perturbs);
+* :mod:`repro.robustness.faultinject` — composable fault injectors used
+  by the test matrix to prove every fault surfaces as a typed
+  :class:`~repro.errors.ReproError`;
+* :mod:`repro.robustness.checkpoint` — snapshot/resume for long
+  simulations.
+"""
+
+from repro.robustness.checkpoint import (
+    SimulationCheckpoint,
+    restore,
+    run_with_checkpoints,
+    snapshot,
+)
+from repro.robustness.faultinject import (
+    DropPendingEvents,
+    DropTransferEntry,
+    DuplicateTransferEntry,
+    StuckFunctionalUnit,
+    corrupt_operand,
+    truncate_trace,
+)
+from repro.robustness.invariants import InvariantChecker
+from repro.robustness.validate import (
+    validate_assignment,
+    validate_config,
+    validate_machine_program,
+    validate_run,
+    validate_trace,
+)
+
+__all__ = [
+    "SimulationCheckpoint",
+    "snapshot",
+    "restore",
+    "run_with_checkpoints",
+    "DropPendingEvents",
+    "DropTransferEntry",
+    "DuplicateTransferEntry",
+    "StuckFunctionalUnit",
+    "corrupt_operand",
+    "truncate_trace",
+    "InvariantChecker",
+    "validate_assignment",
+    "validate_config",
+    "validate_machine_program",
+    "validate_run",
+    "validate_trace",
+]

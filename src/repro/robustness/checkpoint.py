@@ -1,0 +1,121 @@
+"""Checkpoint/resume for long simulations.
+
+The simulator is deterministic pure-Python state, so a checkpoint is a
+pickled :class:`~repro.uarch.processor.Processor` taken between cycles.
+Resuming restores the processor mid-run and continues to completion with
+bit-identical statistics — an interrupted multi-hour sweep loses at most
+one checkpoint interval of work.
+
+Typical use::
+
+    processor = Processor(config, assignment)
+    result, checkpoints = run_with_checkpoints(
+        processor, trace, interval=50_000, path="run.ckpt"
+    )
+
+    # ... later, after an interruption:
+    processor = restore(load_checkpoint("run.ckpt"))
+    result = finish(processor)
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uarch.processor import Processor, SimulationResult
+    from repro.workloads.trace import DynamicInstruction
+
+#: Bump when the processor's pickled layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class SimulationCheckpoint:
+    """One resumable snapshot of an in-flight simulation."""
+
+    version: int
+    config_name: str
+    cycle: int
+    instructions_retired: int
+    trace_length: int
+    payload: bytes
+
+    def summary(self) -> str:
+        return (
+            f"checkpoint[{self.config_name}] cycle={self.cycle} "
+            f"retired={self.instructions_retired}/{self.trace_length}"
+        )
+
+
+def snapshot(processor: "Processor") -> SimulationCheckpoint:
+    """Capture a resumable snapshot of ``processor`` between cycles."""
+    return SimulationCheckpoint(
+        version=CHECKPOINT_VERSION,
+        config_name=processor.config.name,
+        cycle=processor.cycle,
+        instructions_retired=processor.stats.instructions,
+        trace_length=len(processor._trace),
+        payload=pickle.dumps(processor, protocol=pickle.HIGHEST_PROTOCOL),
+    )
+
+
+def restore(checkpoint: SimulationCheckpoint) -> "Processor":
+    """Reconstruct the mid-run processor held by ``checkpoint``."""
+    from repro.errors import SimulationError
+
+    if checkpoint.version != CHECKPOINT_VERSION:
+        raise SimulationError(
+            f"checkpoint version {checkpoint.version} is not resumable by "
+            f"this build (expected {CHECKPOINT_VERSION})",
+            config=checkpoint.config_name,
+        )
+    return pickle.loads(checkpoint.payload)
+
+
+def save_checkpoint(checkpoint: SimulationCheckpoint, path: str) -> None:
+    with open(path, "wb") as fh:
+        pickle.dump(checkpoint, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_checkpoint(path: str) -> SimulationCheckpoint:
+    with open(path, "rb") as fh:
+        return pickle.load(fh)
+
+
+def finish(processor: "Processor") -> "SimulationResult":
+    """Run a (restored) processor to completion and return its result."""
+    processor.advance()
+    return processor.finalize()
+
+
+def run_with_checkpoints(
+    processor: "Processor",
+    trace: Sequence["DynamicInstruction"],
+    interval: int,
+    max_cycles: int = 0,
+    path: Optional[str] = None,
+    sink: Optional[Callable[[SimulationCheckpoint], None]] = None,
+) -> tuple["SimulationResult", list[SimulationCheckpoint]]:
+    """Simulate ``trace``, snapshotting every ``interval`` cycles.
+
+    Each snapshot is handed to ``sink`` (when given) and written to
+    ``path`` (when given; the file always holds the newest snapshot).
+    Returns the final result plus every checkpoint taken.
+    """
+    if interval < 1:
+        from repro.errors import ConfigError
+
+        raise ConfigError("checkpoint interval must be >= 1", interval=interval)
+    processor.start(trace, max_cycles)
+    checkpoints: list[SimulationCheckpoint] = []
+    while not processor.advance(interval):
+        checkpoint = snapshot(processor)
+        checkpoints.append(checkpoint)
+        if sink is not None:
+            sink(checkpoint)
+        if path is not None:
+            save_checkpoint(checkpoint, path)
+    return processor.finalize(), checkpoints

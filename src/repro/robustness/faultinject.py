@@ -1,0 +1,214 @@
+"""Composable fault injectors for the robustness test matrix.
+
+Two families:
+
+* **Trace-level injectors** — pure functions producing a corrupted copy
+  of a trace.  These model bad input data (a mangled ATOM trace file) and
+  must be rejected by :func:`repro.robustness.validate.validate_trace`
+  before simulation.
+* **Runtime injectors** — callables installed on a live processor via
+  :meth:`Processor.install_fault`; each is invoked once per cycle before
+  event processing and sabotages internal state (dropped or duplicated
+  transfer-buffer entries, a stuck functional unit, a dead event bus).
+  The simulator must terminate with a typed
+  :class:`~repro.errors.ReproError` — via the ``self_check`` invariant
+  checker, the watchdog, or the deadlock guard — never hang and never
+  complete with silently wrong counts.
+
+Every runtime injector records whether it actually fired (``fired``),
+so tests can assert the fault was injected and not dodged by timing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Sequence
+
+from repro.isa.registers import Register
+from repro.workloads.trace import DynamicInstruction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uarch.processor import Processor
+
+
+# ===================================================================== traces
+def corrupt_operand(
+    trace: Sequence[DynamicInstruction],
+    index: int,
+    src_position: int,
+    replacement: Register,
+) -> list[DynamicInstruction]:
+    """Replace one source operand of ``trace[index]`` with ``replacement``.
+
+    Models a bit-flipped register field: the dynamic record no longer
+    matches the static instruction it claims (same uid), which
+    ``validate_trace(..., program=...)`` detects as a :class:`TraceError`.
+    """
+    corrupted = list(trace)
+    victim = corrupted[index]
+    srcs = list(victim.instr.srcs)
+    srcs[src_position] = replacement
+    mutant = dataclasses.replace(victim.instr, srcs=tuple(srcs))
+    corrupted[index] = DynamicInstruction(
+        mutant,
+        victim.meta,
+        victim.seq,
+        address=victim.address,
+        taken=victim.taken,
+        reassign=victim.reassign,
+    )
+    return corrupted
+
+
+def truncate_trace(
+    trace: Sequence[DynamicInstruction], drop_at: int, count: int = 1
+) -> list[DynamicInstruction]:
+    """Drop ``count`` records starting at ``drop_at`` without renumbering.
+
+    Models a truncated/garbled trace file: the resulting sequence-number
+    gap breaks the simulator's replay-rewind contract and is rejected by
+    ``validate_trace`` as a :class:`TraceError`.
+    """
+    return list(trace[:drop_at]) + list(trace[drop_at + count:])
+
+
+# ==================================================================== runtime
+class RuntimeFault:
+    """Base class: armed from ``at_cycle``, fires at most once."""
+
+    def __init__(self, at_cycle: int) -> None:
+        self.at_cycle = at_cycle
+        self.fired = False
+        self.fired_cycle = -1
+
+    def __call__(self, processor: "Processor", cycle: int) -> None:
+        if self.fired or cycle < self.at_cycle:
+            return
+        if self._inject(processor, cycle):
+            self.fired = True
+            self.fired_cycle = cycle
+
+    def _inject(self, processor: "Processor", cycle: int) -> bool:
+        """Attempt the sabotage; return True once it actually happened."""
+        raise NotImplementedError
+
+
+def _buffer_of(processor: "Processor", cluster: int, kind: str):
+    owner = processor.clusters[cluster]
+    return owner.operand_buffer if kind == "operand" else owner.result_buffer
+
+
+class DropTransferEntry(RuntimeFault):
+    """Silently lose one occupied transfer-buffer entry.
+
+    The owning master (operand buffer) or slave (result buffer) later
+    issues expecting the entry; with ``self_check`` enabled the issue-time
+    protocol invariant raises :class:`InvariantViolation`.
+    """
+
+    def __init__(self, at_cycle: int, cluster: int = 0, kind: str = "operand") -> None:
+        super().__init__(at_cycle)
+        self.cluster = cluster
+        self.kind = kind
+        self.dropped_seq = -1
+
+    def _inject(self, processor: "Processor", cycle: int) -> bool:
+        from repro.uarch.uop import Role, UopState
+
+        buffer = _buffer_of(processor, self.cluster, self.kind)
+        if not buffer.entries:
+            return False  # stay armed until there is something to drop
+        # Only drop an entry whose consumer (the master reading a forwarded
+        # operand, or the slave reading a forwarded result, in this cluster)
+        # has not issued yet — dropping an already-consumed, pending-free
+        # entry would go unnoticed, which is not the fault being modelled.
+        consumer_role = Role.MASTER if self.kind == "operand" else Role.SLAVE
+        unconsumed = {
+            UopState.WAITING,
+            UopState.READY,
+            UopState.SUSPENDED,
+        }
+        by_seq = {entry.seq: entry for entry in processor._rob}
+        for seq in buffer.entries:
+            entry = by_seq.get(seq)
+            if entry is None:
+                continue
+            for uop in entry.uops:
+                if (
+                    uop.role is consumer_role
+                    and uop.cluster == self.cluster
+                    and uop.state in unconsumed
+                ):
+                    self.dropped_seq = seq
+                    del buffer.entries[seq]
+                    return True
+        return False
+
+
+class DuplicateTransferEntry(RuntimeFault):
+    """Insert a bogus transfer-buffer entry owned by nobody.
+
+    A lost squash or double allocation leaves exactly this state; the
+    per-cycle ``self_check`` ownership invariant raises
+    :class:`InvariantViolation` on the next cycle.
+    """
+
+    BOGUS_SEQ = 10**9
+
+    def __init__(self, at_cycle: int, cluster: int = 0, kind: str = "operand") -> None:
+        super().__init__(at_cycle)
+        self.cluster = cluster
+        self.kind = kind
+
+    def _inject(self, processor: "Processor", cycle: int) -> bool:
+        buffer = _buffer_of(processor, self.cluster, self.kind)
+        if buffer.is_full:
+            return False
+        buffer.entries[self.BOGUS_SEQ] = cycle
+        return True
+
+
+class StuckFunctionalUnit(RuntimeFault):
+    """Wedge every FP divider of one cluster (hardware fault model).
+
+    Divide uops stay ready-but-blocked forever; the forward-progress
+    watchdog raises :class:`WatchdogTimeout` after ``progress_window``
+    cycles with no fetch/dispatch/issue/retire activity.
+    """
+
+    STUCK_UNTIL = 10**15
+
+    def __init__(self, at_cycle: int, cluster: int = 0) -> None:
+        super().__init__(at_cycle)
+        self.cluster = cluster
+
+    def _inject(self, processor: "Processor", cycle: int) -> bool:
+        owner = processor.clusters[self.cluster]
+        owner.divider_free_at = [self.STUCK_UNTIL] * len(owner.divider_free_at)
+        return True
+
+
+class DropPendingEvents(RuntimeFault):
+    """Kill the event bus: discard all scheduled wakeups/completions.
+
+    Stays active every cycle from ``at_cycle`` on (a dead bus does not
+    recover).  In-flight instructions never complete: a single-cluster
+    machine drains into the no-pending-events state and the deadlock
+    guard raises :class:`SimulationError` with the diagnostic ring-buffer
+    dump; a multicluster machine falls into a replay storm (squash and
+    refetch forever) that the cycle-budget watchdog ends with
+    :class:`WatchdogTimeout`.  Either way: typed, never a hang.
+    """
+
+    def __call__(self, processor: "Processor", cycle: int) -> None:
+        if cycle < self.at_cycle:
+            return
+        if processor._events or processor._event_cycles:
+            processor._events.clear()
+            processor._event_cycles.clear()
+            if not self.fired:
+                self.fired = True
+                self.fired_cycle = cycle
+
+    def _inject(self, processor: "Processor", cycle: int) -> bool:  # pragma: no cover
+        raise AssertionError("DropPendingEvents overrides __call__")

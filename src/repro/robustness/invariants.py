@@ -1,0 +1,167 @@
+"""Opt-in per-cycle invariant checker (``ProcessorConfig.self_check``).
+
+When enabled, the processor calls into an :class:`InvariantChecker` at
+well-defined points of every cycle.  The checker *observes* model state
+and raises :class:`~repro.errors.InvariantViolation` on corruption; it
+never mutates anything, so self-check-on and self-check-off runs produce
+bit-identical cycle counts.
+
+Invariants map onto the paper's Section 2.1/3 structures:
+
+* **transfer buffers** — occupancy never exceeds capacity, and every
+  entry is owned by an instruction still in flight (a dangling entry
+  means a squash or free was lost);
+* **master/slave protocol** — a master consuming a forwarded operand
+  finds the entry in its operand buffer at issue; a slave consuming a
+  forwarded result finds the entry in its result buffer at issue;
+* **dispatch queues** — free-entry accounting stays within capacity;
+* **retirement** — in-order: retired sequence numbers are strictly
+  monotone, and the reorder buffer itself stays sorted;
+* **register ownership** — no copy writes an architectural register its
+  cluster does not own under the current assignment (a cross-cluster
+  write without a transfer).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uarch.processor import Processor, _Cluster
+    from repro.uarch.uop import Uop
+
+
+class InvariantChecker:
+    """Observational self-checker attached to one :class:`Processor`."""
+
+    def __init__(self, processor: "Processor") -> None:
+        self.processor = processor
+        self._last_retired_seq = -1
+        self.checks_run = 0
+
+    # ------------------------------------------------------------- helpers
+    def _fail(self, message: str, *, cycle: int, **ctx) -> None:
+        raise InvariantViolation(
+            message,
+            cycle=cycle,
+            diagnostics=self.processor.diagnostic_dump(),
+            **ctx,
+        )
+
+    # ------------------------------------------------------------ per-cycle
+    def check_cycle(self, cycle: int) -> None:
+        """Structural invariants checked once per simulated cycle."""
+        self.checks_run += 1
+        processor = self.processor
+        in_flight = {entry.seq for entry in processor._rob}
+        prev_seq = -1
+        for entry in processor._rob:
+            if entry.seq <= prev_seq:
+                self._fail(
+                    "reorder buffer out of program order",
+                    cycle=cycle,
+                    seq=entry.seq,
+                    previous=prev_seq,
+                )
+            prev_seq = entry.seq
+        for cluster in processor.clusters:
+            capacity = cluster.config.dispatch_queue_entries
+            if not 0 <= cluster.queue_free <= capacity:
+                self._fail(
+                    "dispatch-queue free-entry accounting out of range",
+                    cycle=cycle,
+                    cluster=cluster.index,
+                    queue_free=cluster.queue_free,
+                    capacity=capacity,
+                )
+            for buffer in (cluster.operand_buffer, cluster.result_buffer):
+                if buffer.occupancy > buffer.capacity:
+                    self._fail(
+                        f"{buffer.name} occupancy exceeds capacity",
+                        cycle=cycle,
+                        cluster=cluster.index,
+                        occupancy=buffer.occupancy,
+                        capacity=buffer.capacity,
+                    )
+                for owner in buffer.entries:
+                    if owner not in in_flight:
+                        self._fail(
+                            f"{buffer.name} entry owned by an instruction "
+                            "not in flight",
+                            cycle=cycle,
+                            cluster=cluster.index,
+                            seq=owner,
+                        )
+
+    # ------------------------------------------------------------- at issue
+    def check_issue(
+        self, uop: "Uop", cluster: "_Cluster", cycle: int, phase: int
+    ) -> None:
+        """Transfer-protocol invariants at the moment a copy issues.
+
+        Called before the issue mutates any state, with the same ``phase``
+        the issue logic uses (phase 1 = a scenario-5 slave's result leg).
+        """
+        from repro.uarch.uop import Role
+
+        if (
+            uop.role is Role.MASTER
+            and uop.partner is not None
+            and uop.partner.needs_operand_entry
+            and uop.seq not in cluster.operand_buffer.entries
+        ):
+            self._fail(
+                "master issued but its forwarded operand is missing from the "
+                "operand transfer buffer",
+                cycle=cycle,
+                cluster=cluster.index,
+                seq=uop.seq,
+                instruction=uop.entry.dyn.instr.format(),
+            )
+        if (
+            uop.role is Role.SLAVE
+            and (uop.forwards_result_only or phase == 1)
+            and uop.seq not in cluster.result_buffer.entries
+        ):
+            self._fail(
+                "slave issued but the forwarded result is missing from the "
+                "result transfer buffer",
+                cycle=cycle,
+                cluster=cluster.index,
+                seq=uop.seq,
+                instruction=uop.entry.dyn.instr.format(),
+            )
+
+    # --------------------------------------------------------- at writeback
+    def check_writeback(self, uop: "Uop", cycle: int) -> None:
+        """No copy writes a register its cluster does not own."""
+        if not uop.writes_dest:
+            return
+        dest = uop.entry.dyn.instr.effective_dest
+        if dest is None:
+            return
+        owners = self.processor.assignment.clusters_of(dest)
+        if uop.cluster not in owners:
+            self._fail(
+                "cross-cluster register write without a transfer: cluster "
+                f"does not own {dest.name}",
+                cycle=cycle,
+                cluster=uop.cluster,
+                seq=uop.seq,
+                register=dest.name,
+                owners=sorted(owners),
+            )
+
+    # ------------------------------------------------------------ at retire
+    def check_retire(self, seq: int, cycle: int) -> None:
+        """Retirement must be strictly monotone in program order."""
+        if seq <= self._last_retired_seq:
+            self._fail(
+                "retire order not monotone",
+                cycle=cycle,
+                seq=seq,
+                previously_retired=self._last_retired_seq,
+            )
+        self._last_retired_seq = seq

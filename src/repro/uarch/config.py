@@ -154,6 +154,22 @@ class ProcessorConfig:
     replay_threshold: int = 8
     #: Distribution policy for instructions naming no registers.
     alternate_homeless: bool = True
+    #: Opt-in per-cycle invariant checker (repro.robustness.invariants).
+    #: Observational only: self-check-on and self-check-off runs produce
+    #: bit-identical cycle counts.
+    self_check: bool = False
+    #: Watchdog cycle budget; 0 derives a generous default from the trace
+    #: length (100 cycles/instruction + 100k slack).
+    cycle_budget: int = 0
+    #: Forward-progress watchdog: simulated cycles without any fetch,
+    #: dispatch, issue, retire, or event activity before the run is
+    #: declared wedged.  0 disables.  The default is far above every
+    #: legitimate stall (memory latency 16, FP divide 16, replay
+    #: threshold 8).
+    progress_window: int = 10_000
+    #: Entries in the diagnostic ring buffer of recent pipeline events
+    #: dumped when the model fails.
+    diag_ring_entries: int = 64
 
     @property
     def num_clusters(self) -> int:

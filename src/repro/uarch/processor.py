@@ -44,6 +44,7 @@ from typing import Optional, Sequence
 
 from repro.core.distribution import DistributionPlan, Scenario, plan_for_instruction
 from repro.core.registers import RegisterAssignment
+from repro.errors import ConfigError, SimulationError, WatchdogTimeout
 from repro.isa.opcodes import InstrClass, Opcode
 from repro.isa.registers import RegisterClass
 from repro.uarch.branch_predictor import McFarlingPredictor
@@ -56,8 +57,13 @@ from repro.uarch.uop import RobEntry, Role, Uop, UopState
 from repro.workloads.trace import DynamicInstruction
 
 
-class SimulationError(Exception):
-    """The simulation deadlocked with no pending events (model bug guard)."""
+__all__ = [
+    "Processor",
+    "SimulationError",
+    "SimulationResult",
+    "WatchdogTimeout",
+    "simulate",
+]
 
 
 @dataclass
@@ -123,9 +129,10 @@ class Processor:
 
     def __init__(self, config: ProcessorConfig, assignment: RegisterAssignment) -> None:
         if config.num_clusters != assignment.num_clusters:
-            raise ValueError(
+            raise ConfigError(
                 f"config has {config.num_clusters} clusters but the register "
-                f"assignment has {assignment.num_clusters}"
+                f"assignment has {assignment.num_clusters}",
+                config=config.name,
             )
         self.config = config
         self.assignment = assignment
@@ -165,18 +172,90 @@ class Processor:
         #: Figure 2-5 execution timelines.
         self.event_log: Optional[list[tuple[int, str, int, str, int]]] = None
 
+        # Robustness substrate.
+        #: Ring buffer of the last-N pipeline events (dispatch/issue/
+        #: retire/transfer per cluster) dumped when the model fails.
+        self._recent: deque[tuple[int, str, int, str, int]] = deque(
+            maxlen=config.diag_ring_entries
+        )
+        #: Runtime fault injectors (tests); called once per cycle.
+        self.fault_hooks: list = []
+        #: Watchdog bookkeeping: last cycle with any pipeline activity.
+        self._last_progress_cycle = 0
+        self._limit = 0
+        if config.self_check:
+            from repro.robustness.invariants import InvariantChecker
+
+            self._invariants: Optional[InvariantChecker] = InvariantChecker(self)
+        else:
+            self._invariants = None
+
+    def install_fault(self, fault) -> None:
+        """Attach a runtime fault injector (see robustness.faultinject)."""
+        self.fault_hooks.append(fault)
+
     # ================================================================= API
     def run(self, trace: Sequence[DynamicInstruction], max_cycles: int = 0) -> SimulationResult:
         """Simulate ``trace`` to completion and return the statistics."""
+        self.start(trace, max_cycles)
+        self.advance()
+        return self.finalize()
+
+    def start(self, trace: Sequence[DynamicInstruction], max_cycles: int = 0) -> None:
+        """Arm the processor to simulate ``trace``.
+
+        The watchdog cycle budget is ``max_cycles`` when given, else
+        ``config.cycle_budget``, else a generous default derived from the
+        trace length.  Use with :meth:`advance`/:meth:`finalize` for
+        incremental simulation (checkpointing); :meth:`run` wraps all
+        three.
+        """
         self._trace = trace
-        limit = max_cycles or (len(trace) * 100 + 100_000)
+        self._limit = (
+            max_cycles or self.config.cycle_budget or (len(trace) * 100 + 100_000)
+        )
+        self._last_progress_cycle = self.cycle
+
+    def advance(self, max_steps: int = 0) -> bool:
+        """Step the simulation; True once the whole trace has retired.
+
+        ``max_steps`` bounds the number of cycle steps taken in this call
+        (0 = run to completion) — the checkpointing granularity.
+
+        Raises:
+            WatchdogTimeout: the cycle budget was exceeded, or no pipeline
+                stage made forward progress for ``config.progress_window``
+                cycles; carries the diagnostic ring-buffer dump.
+            SimulationError: the model deadlocked (no pending events).
+        """
+        window = self.config.progress_window
+        steps = 0
         while not self._finished():
+            if max_steps and steps >= max_steps:
+                return False
             self._step()
-            if self.cycle > limit:
-                raise SimulationError(
-                    f"exceeded cycle limit {limit} at seq "
-                    f"{self._rob[0].seq if self._rob else self._fetch_index}"
+            steps += 1
+            if self.cycle > self._limit:
+                raise WatchdogTimeout(
+                    f"exceeded cycle budget {self._limit}",
+                    cycle=self.cycle,
+                    seq=self._rob[0].seq if self._rob else self._fetch_index,
+                    config=self.config.name,
+                    diagnostics=self.diagnostic_dump(),
                 )
+            if window and self.cycle - self._last_progress_cycle > window:
+                raise WatchdogTimeout(
+                    f"no forward progress for {window} cycles "
+                    "(no fetch, dispatch, issue, retire, or event activity)",
+                    cycle=self.cycle,
+                    seq=self._rob[0].seq if self._rob else self._fetch_index,
+                    config=self.config.name,
+                    diagnostics=self.diagnostic_dump(),
+                )
+        return True
+
+    def finalize(self) -> SimulationResult:
+        """Collect the statistics of a completed simulation."""
         self.stats.cycles = self.cycle
         self.stats.icache_accesses = self.icache.stats.accesses
         self.stats.icache_misses = self.icache.stats.misses
@@ -185,6 +264,37 @@ class Processor:
         self.stats.branch_predictions = self.predictor.stats.predictions
         self.stats.branch_mispredictions = self.predictor.stats.mispredictions
         return SimulationResult(self.config.name, self.stats)
+
+    def diagnostic_dump(self) -> list[str]:
+        """Post-mortem snapshot: machine state plus the recent-event ring."""
+        lines = [
+            f"cycle={self.cycle} fetch_index={self._fetch_index}/{len(self._trace)} "
+            f"rob={len(self._rob)} fetch_buffer={len(self._fetch_buffer)} "
+            f"pending_event_cycles={len(self._event_cycles)}"
+        ]
+        if self._rob:
+            head = self._rob[0]
+            copies = " ".join(
+                f"{u.role.value}@c{u.cluster}:{u.state.value}" for u in head.uops
+            )
+            lines.append(
+                f"rob head: seq={head.seq} {head.dyn.instr.format()} [{copies}]"
+            )
+        for cluster in self.clusters:
+            lines.append(
+                f"cluster {cluster.index}: queue_free={cluster.queue_free} "
+                f"ready={len(cluster.ready)} "
+                f"operand-buf={cluster.operand_buffer.occupancy}"
+                f"/{cluster.operand_buffer.capacity} "
+                f"result-buf={cluster.result_buffer.occupancy}"
+                f"/{cluster.result_buffer.capacity}"
+            )
+        lines.append(f"last {len(self._recent)} events (cycle event seq role cluster):")
+        lines.extend(
+            f"  {c:>8} {event:<9} #{seq} {role}@c{cl}"
+            for c, event, seq, role, cl in self._recent
+        )
+        return lines
 
     # ============================================================ main loop
     def _finished(self) -> bool:
@@ -196,7 +306,9 @@ class Processor:
 
     def _step(self) -> None:
         cycle = self.cycle
-        self._process_events(cycle)
+        for fault in self.fault_hooks:
+            fault(self, cycle)
+        events = self._process_events(cycle)
         for cluster in self.clusters:
             cluster.operand_buffer.tick(cycle)
             cluster.result_buffer.tick(cycle)
@@ -205,8 +317,12 @@ class Processor:
         dispatched = self._dispatch(cycle)
         fetched = self._fetch(cycle)
         self._check_replay(cycle)
+        if events or retired or issued_any or dispatched or fetched:
+            self._last_progress_cycle = cycle
         if not issued_any and not dispatched and not fetched and retired == 0:
             self._maybe_fast_forward(cycle)
+        if self._invariants is not None:
+            self._invariants.check_cycle(cycle)
         self.cycle += 1
 
     def _maybe_fast_forward(self, cycle: int) -> None:
@@ -235,7 +351,13 @@ class Processor:
         if not candidates:
             if self._finished():
                 return
-            raise SimulationError(f"deadlock with no pending events at cycle {cycle}")
+            raise SimulationError(
+                "deadlock with no pending events",
+                cycle=cycle,
+                seq=self._rob[0].seq if self._rob else None,
+                config=self.config.name,
+                diagnostics=self.diagnostic_dump(),
+            )
         target = min(candidates)
         if target > cycle + 1:
             self.cycle = target - 1  # _step will +1
@@ -249,10 +371,12 @@ class Processor:
         else:
             bucket.append(event)
 
-    def _process_events(self, cycle: int) -> None:
+    def _process_events(self, cycle: int) -> int:
+        processed = 0
         while self._event_cycles and self._event_cycles[0] <= cycle:
             event_cycle = heapq.heappop(self._event_cycles)
             for event in self._events.pop(event_cycle, ()):  # noqa: B909
+                processed += 1
                 kind = event[0]
                 if kind == "complete":
                     self._complete_uop(event[1], event_cycle)
@@ -266,6 +390,7 @@ class Processor:
                         )
 
     def _log(self, cycle: int, event: str, seq: int, role: str = "-", cluster: int = -1) -> None:
+        self._recent.append((cycle, event, seq, role, cluster))
         if self.event_log is not None:
             self.event_log.append((cycle, event, seq, role, cluster))
 
@@ -628,6 +753,8 @@ class Processor:
         return None
 
     def _do_issue(self, uop: Uop, cluster: _Cluster, cycle: int, phase: int) -> None:
+        if self._invariants is not None:
+            self._invariants.check_issue(uop, cluster, cycle, phase)
         uop.state = UopState.ISSUED
         uop.issue_cycle = cycle
         uop.blocked_on_buffer_since = -1
@@ -729,6 +856,8 @@ class Processor:
         uop.state = UopState.DONE
         uop.done_cycle = cycle
         self._log(cycle, "complete", uop.seq, uop.role.value, uop.cluster)
+        if self._invariants is not None:
+            self._invariants.check_writeback(uop, cycle)
 
         # Marking the needs-operand-entry flag consumed (master path freed
         # at issue already); slave's operand entry is freed by master issue.
@@ -770,6 +899,8 @@ class Processor:
             rob.popleft()
             entry.retired = True
             self._log(cycle, "retire", entry.seq)
+            if self._invariants is not None:
+                self._invariants.check_retire(entry.seq, cycle)
             for cluster_index, rclass, _arch_uid, _phys, prev in entry.rename_undo:
                 if prev is not None:
                     self.clusters[cluster_index].rename.files[rclass].release(prev)

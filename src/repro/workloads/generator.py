@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import RegisterClass
@@ -341,7 +340,8 @@ class _Generator:
                 array = next(a for a in spec.arrays if a.name == array_name)
                 base = self._bases[array_name]
                 opcode = Opcode.LDT if array.fp else Opcode.LDQ
-                dest = b.program.new_value(None, RegisterClass.FP if array.fp else RegisterClass.INT)
+                rclass = RegisterClass.FP if array.fp else RegisterClass.INT
+                dest = b.program.new_value(None, rclass)
                 b.load(dest, base, imm=rng.randrange(0, 256, 8), stream=array_name, opcode=opcode)
                 self._push_live(dest)
             elif kind == "store" and loop.arrays:

@@ -366,4 +366,12 @@ def build_benchmark(name: str) -> Workload:
     try:
         return SPEC92[name]()
     except KeyError:
-        raise ValueError(f"unknown benchmark {name!r}; choose from {sorted(SPEC92)}")
+        import difflib
+
+        from repro.errors import ConfigError
+
+        message = f"unknown benchmark {name!r}; choose from {sorted(SPEC92)}"
+        close = difflib.get_close_matches(name, SPEC92, n=1)
+        if close:
+            message += f" (did you mean {close[0]!r}?)"
+        raise ConfigError(message, benchmark=name) from None

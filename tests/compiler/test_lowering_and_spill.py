@@ -9,7 +9,6 @@ from repro.compiler.spill import SPILL_STREAM_PREFIX, SpillContext, insert_spill
 from repro.compiler.webs import build_live_ranges, designate_global_candidates
 from repro.core.registers import RegisterAssignment
 from repro.ir.builder import ProgramBuilder
-from repro.ir.live_range import LiveRangeSet
 from repro.isa.opcodes import Opcode
 
 
@@ -94,7 +93,9 @@ class TestSpillInsertion:
     def test_spill_counts(self):
         _prog, context = self._spill_range("a")
         assert context.total_stores == 1
-        assert context.total_loads == 1  # the add uses 'a' twice -> one rewrite pass per src occurrence shares a load each
+        # The add uses 'a' twice; one rewrite pass shares a load per
+        # src occurrence, so a single load covers both.
+        assert context.total_loads == 1
         # Each use occurrence gets its own load; 'a' appears twice in one
         # instruction, so loads >= 1.
         assert context.records[0].loads_inserted >= 1

@@ -119,7 +119,9 @@ class TestOptions:
             optimize=False, prepass_schedule=False, postpass_schedule=False,
             profile="keep",
         )
-        result = compile_program(sample_program(), RegisterAssignment.single_cluster(), options=options)
+        result = compile_program(
+            sample_program(), RegisterAssignment.single_cluster(), options=options
+        )
         # Without scheduling, machine code preserves source order per block.
         body = result.machine.block("body")
         opcodes = [i.opcode for i in body.instructions]

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.experiments.harness import (
     EvaluationOptions,
     evaluate_workload,
@@ -95,5 +96,5 @@ class TestTable2Formatting:
 
     def test_unknown_row_lookup_raises(self):
         result = Table2Result([])
-        with pytest.raises(KeyError):
+        with pytest.raises(ConfigError):
             result.row("nope")

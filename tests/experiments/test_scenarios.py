@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.distribution import Scenario
 from repro.experiments.scenarios import (
     SCENARIOS,
     format_timeline,

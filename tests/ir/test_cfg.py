@@ -5,7 +5,6 @@ import pytest
 from repro.ir.builder import ProgramBuilder
 from repro.ir.cfg import ControlFlowGraph
 from repro.ir.basic_block import BasicBlock
-from repro.ir.instructions import ILInstruction
 from repro.isa.opcodes import Opcode
 
 

@@ -41,7 +41,8 @@ class TestStructural:
         assert addq(int_reg(1)).iclass is InstrClass.INT_OTHER
 
     def test_srcs_normalized_to_tuple(self):
-        instr = MachineInstruction(Opcode.ADDQ, dest=int_reg(1), srcs=[int_reg(2)])  # type: ignore[arg-type]
+        srcs = [int_reg(2)]  # deliberately a list, not a tuple
+        instr = MachineInstruction(Opcode.ADDQ, dest=int_reg(1), srcs=srcs)
         assert isinstance(instr.srcs, tuple)
 
     def test_with_uid(self):

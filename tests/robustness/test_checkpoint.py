@@ -1,0 +1,132 @@
+"""Checkpoint/resume: interrupted simulations continue bit-identically."""
+
+import pytest
+
+from repro.core.registers import RegisterAssignment
+from repro.errors import ConfigError, SimulationError
+from repro.isa.instructions import MachineInstruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import int_reg
+from repro.robustness.checkpoint import (
+    CHECKPOINT_VERSION,
+    SimulationCheckpoint,
+    finish,
+    load_checkpoint,
+    restore,
+    run_with_checkpoints,
+    save_checkpoint,
+    snapshot,
+)
+from repro.uarch.config import dual_cluster_config
+from repro.uarch.processor import Processor
+
+from tests.uarch.helpers import trace_from_instructions
+
+
+def make_trace(n=400):
+    # A mix of dependent adds and slow multiplies so the run spans many
+    # cycles and carries nontrivial in-flight state at snapshot points.
+    instrs = []
+    for i in range(n):
+        if i % 7 == 3:
+            instrs.append(
+                MachineInstruction(
+                    Opcode.MULQ, dest=int_reg(2), srcs=(int_reg(2), int_reg(4))
+                )
+            )
+        else:
+            instrs.append(
+                MachineInstruction(
+                    Opcode.ADDQ,
+                    dest=int_reg(2 + 2 * (i % 8)),
+                    srcs=(int_reg(0), int_reg(1 + 2 * (i % 4))),
+                )
+            )
+    return trace_from_instructions(instrs)
+
+
+def fresh_processor():
+    return Processor(dual_cluster_config(), RegisterAssignment.even_odd_dual())
+
+
+@pytest.fixture(scope="module")
+def reference_cycles():
+    return fresh_processor().run(make_trace()).cycles
+
+
+class TestRunWithCheckpoints:
+    def test_checkpoints_taken_and_result_identical(self, reference_cycles):
+        result, checkpoints = run_with_checkpoints(
+            fresh_processor(), make_trace(), interval=100
+        )
+        assert result.cycles == reference_cycles
+        assert len(checkpoints) >= 2
+        cycles = [c.cycle for c in checkpoints]
+        assert cycles == sorted(cycles)
+        assert all(c.config_name == "dual-4way" for c in checkpoints)
+
+    def test_resume_from_any_checkpoint_is_bit_identical(self, reference_cycles):
+        _result, checkpoints = run_with_checkpoints(
+            fresh_processor(), make_trace(), interval=100
+        )
+        for checkpoint in (checkpoints[0], checkpoints[len(checkpoints) // 2]):
+            resumed = finish(restore(checkpoint))
+            assert resumed.cycles == reference_cycles
+            assert resumed.stats.instructions == 400
+
+    def test_file_round_trip(self, tmp_path, reference_cycles):
+        path = str(tmp_path / "run.ckpt")
+        result, checkpoints = run_with_checkpoints(
+            fresh_processor(), make_trace(), interval=150, path=path
+        )
+        loaded = load_checkpoint(path)
+        # The file holds the newest snapshot.
+        assert loaded.cycle == checkpoints[-1].cycle
+        assert finish(restore(loaded)).cycles == reference_cycles
+
+    def test_sink_receives_every_checkpoint(self):
+        seen = []
+        run_with_checkpoints(
+            fresh_processor(), make_trace(), interval=100, sink=seen.append
+        )
+        assert [c.cycle for c in seen]
+        assert all(isinstance(c, SimulationCheckpoint) for c in seen)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            run_with_checkpoints(fresh_processor(), make_trace(40), interval=0)
+
+
+class TestSnapshotRestore:
+    def test_mid_run_snapshot_resumes(self, reference_cycles):
+        processor = fresh_processor()
+        processor.start(make_trace())
+        assert not processor.advance(max_steps=120)
+        checkpoint = snapshot(processor)
+        assert checkpoint.cycle == processor.cycle
+        assert checkpoint.trace_length == 400
+        assert "dual-4way" in checkpoint.summary()
+        resumed = finish(restore(checkpoint))
+        assert resumed.cycles == reference_cycles
+        # The original continues too, independently.
+        assert finish(processor).cycles == reference_cycles
+
+    def test_version_mismatch_rejected(self):
+        processor = fresh_processor()
+        processor.start(make_trace(40))
+        processor.advance(max_steps=5)
+        checkpoint = snapshot(processor)
+        checkpoint.version = CHECKPOINT_VERSION + 1
+        with pytest.raises(SimulationError, match="version"):
+            restore(checkpoint)
+
+    def test_save_and_load(self, tmp_path):
+        processor = fresh_processor()
+        processor.start(make_trace(40))
+        processor.advance(max_steps=10)
+        checkpoint = snapshot(processor)
+        path = str(tmp_path / "snap.ckpt")
+        save_checkpoint(checkpoint, path)
+        loaded = load_checkpoint(path)
+        assert loaded.cycle == checkpoint.cycle
+        assert loaded.instructions_retired == checkpoint.instructions_retired

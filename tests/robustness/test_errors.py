@@ -1,0 +1,79 @@
+"""The structured exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro.errors import (
+    CompileError,
+    ConfigError,
+    InvariantViolation,
+    ReproError,
+    SimulationError,
+    TraceError,
+    WatchdogTimeout,
+)
+
+
+class TestTaxonomy:
+    def test_every_error_is_a_repro_error(self):
+        for cls in (
+            ConfigError,
+            TraceError,
+            CompileError,
+            SimulationError,
+            WatchdogTimeout,
+            InvariantViolation,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_config_and_trace_errors_are_value_errors(self):
+        # Pre-existing ``except ValueError`` call sites keep working.
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(TraceError, ValueError)
+
+    def test_watchdog_and_invariant_are_simulation_errors(self):
+        assert issubclass(WatchdogTimeout, SimulationError)
+        assert issubclass(InvariantViolation, SimulationError)
+
+    def test_exit_codes_distinguish_config_from_simulation(self):
+        assert ConfigError.exit_code != SimulationError.exit_code
+        assert ConfigError.exit_code == TraceError.exit_code
+        for cls in (ConfigError, TraceError, CompileError, SimulationError):
+            assert cls.exit_code != 0
+
+
+class TestContext:
+    def test_machine_readable_context(self):
+        error = SimulationError(
+            "boom", benchmark="compress", cycle=42, cluster=1, seq=7
+        )
+        assert error.benchmark == "compress"
+        assert error.cycle == 42
+        assert error.cluster == 1
+        assert error.seq == 7
+        assert error.context["cycle"] == 42
+
+    def test_none_context_omitted(self):
+        error = SimulationError("boom", cycle=3)
+        assert "benchmark" not in error.context
+        assert error.benchmark is None
+
+    def test_extra_context_kept(self):
+        error = ConfigError("bad", field="fetch_width", config="dual-4way")
+        assert error.context["field"] == "fetch_width"
+        assert error.context["config"] == "dual-4way"
+
+    def test_brief_is_one_line(self):
+        error = WatchdogTimeout("wedged", cycle=100, cluster=0)
+        brief = error.brief()
+        assert "\n" not in brief
+        assert "WatchdogTimeout" in brief
+        assert "cycle=100" in brief
+
+    def test_str_includes_diagnostics(self):
+        error = SimulationError("boom", cycle=1, diagnostics=["line one", "line two"])
+        text = str(error)
+        assert "line one" in text and "line two" in text
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise TraceError("bad trace", seq=12)

@@ -1,0 +1,224 @@
+"""Pre-simulation validation rejects bad configs, assignments, and traces."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.compiler.pipeline import compile_program
+from repro.core.registers import RegisterAssignment
+from repro.errors import ConfigError, TraceError
+from repro.ir.machine_program import MachineProgram
+from repro.isa.instructions import MachineInstruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import int_reg
+from repro.robustness.faultinject import corrupt_operand, truncate_trace
+from repro.robustness.validate import (
+    validate_assignment,
+    validate_config,
+    validate_machine_program,
+    validate_run,
+    validate_trace,
+)
+from repro.uarch.config import dual_cluster_config, single_cluster_config
+from repro.workloads.spec92 import build_benchmark
+from repro.workloads.tracegen import TraceGenerator
+
+from tests.uarch.helpers import trace_from_instructions
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    """A real compiled benchmark: (machine program, trace, assignment)."""
+    workload = build_benchmark("compress")
+    result = compile_program(workload.program, RegisterAssignment.single_cluster())
+    trace = TraceGenerator(
+        result.machine, workload.streams, workload.behaviors, seed=7
+    ).generate(400)
+    return result.machine, trace, RegisterAssignment.single_cluster()
+
+
+class TestValidateConfig:
+    def test_good_configs_pass(self):
+        validate_config(single_cluster_config())
+        validate_config(dual_cluster_config())
+
+    def test_no_clusters(self):
+        config = replace(single_cluster_config(), clusters=())
+        with pytest.raises(ConfigError):
+            validate_config(config)
+
+    def test_nonpositive_width(self):
+        config = replace(dual_cluster_config(), fetch_width=0)
+        with pytest.raises(ConfigError, match="fetch_width"):
+            validate_config(config)
+
+    def test_negative_buffer_capacity(self):
+        base = dual_cluster_config()
+        clusters = (replace(base.clusters[0], operand_buffer_entries=-1),) + base.clusters[1:]
+        with pytest.raises(ConfigError, match="negative"):
+            validate_config(replace(base, clusters=clusters))
+
+    def test_multicluster_needs_transfer_buffers(self):
+        # Section 2.1: the master/slave protocol deadlocks with no entries.
+        base = dual_cluster_config()
+        clusters = tuple(replace(c, result_buffer_entries=0) for c in base.clusters)
+        with pytest.raises(ConfigError, match="transfer-buffer"):
+            validate_config(replace(base, clusters=clusters))
+
+    def test_single_cluster_may_omit_buffers(self):
+        validate_config(single_cluster_config())  # has 0-entry buffers
+
+    def test_error_carries_cluster_context(self):
+        base = dual_cluster_config()
+        clusters = (base.clusters[0], replace(base.clusters[1], dispatch_queue_entries=0))
+        with pytest.raises(ConfigError) as info:
+            validate_config(replace(base, clusters=clusters))
+        assert info.value.cluster == 1
+
+    def test_bad_replay_threshold(self):
+        with pytest.raises(ConfigError, match="replay_threshold"):
+            validate_config(replace(dual_cluster_config(), replay_threshold=0))
+
+    def test_negative_cycle_budget(self):
+        with pytest.raises(ConfigError, match="cycle_budget"):
+            validate_config(replace(dual_cluster_config(), cycle_budget=-1))
+
+
+class _HoleyAssignment:
+    """Stub breaking the total-ownership contract for one register."""
+
+    num_clusters = 2
+
+    def clusters_of(self, reg):
+        if reg.name == "r7":
+            return frozenset()
+        return frozenset({0, 1})
+
+
+class _OutOfRangeAssignment:
+    num_clusters = 2
+
+    def clusters_of(self, reg):
+        return frozenset({0, 1, 5}) if reg.name == "r7" else frozenset({0, 1})
+
+
+class TestValidateAssignment:
+    def test_builtin_assignments_pass(self):
+        validate_assignment(RegisterAssignment.single_cluster(), single_cluster_config())
+        validate_assignment(RegisterAssignment.even_odd_dual(), dual_cluster_config())
+
+    def test_unowned_register_rejected(self):
+        with pytest.raises(ConfigError, match="no cluster") as info:
+            validate_assignment(_HoleyAssignment())
+        assert info.value.context["register"] == "r7"
+
+    def test_out_of_range_owner_rejected(self):
+        with pytest.raises(ConfigError, match="out-of-range"):
+            validate_assignment(_OutOfRangeAssignment())
+
+    def test_cluster_count_mismatch(self):
+        with pytest.raises(ConfigError, match="clusters"):
+            validate_assignment(
+                RegisterAssignment.even_odd_dual(), single_cluster_config()
+            )
+
+    def test_register_file_capacity(self):
+        # A cluster must hold a physical register for every architectural
+        # register it can rename.
+        base = dual_cluster_config()
+        clusters = tuple(replace(c, int_physical_registers=2) for c in base.clusters)
+        tiny = replace(base, clusters=clusters)
+        with pytest.raises(ConfigError, match="physical registers"):
+            validate_assignment(RegisterAssignment.even_odd_dual(), tiny)
+
+
+class TestValidateMachineProgram:
+    def test_empty_program(self):
+        with pytest.raises(ConfigError, match="no blocks"):
+            validate_machine_program(MachineProgram("empty"))
+
+    def test_dangling_successor(self):
+        program = MachineProgram("dangling")
+        block = program.add_block("b0")
+        block.add(MachineInstruction(Opcode.ADDQ, dest=int_reg(2), srcs=(int_reg(0),)))
+        block.succ_labels.append("missing")
+        program.assign_pcs()
+        with pytest.raises(ConfigError, match="missing block"):
+            validate_machine_program(program)
+
+    def test_duplicate_pcs(self):
+        program = MachineProgram("dup")
+        block = program.add_block("b0")
+        block.add(MachineInstruction(Opcode.ADDQ, dest=int_reg(2), srcs=(int_reg(0),)))
+        block.add(MachineInstruction(Opcode.ADDQ, dest=int_reg(4), srcs=(int_reg(0),)))
+        # assign_pcs not run: every meta.pc is 0.
+        with pytest.raises(ConfigError, match="duplicate PC"):
+            validate_machine_program(program)
+
+    def test_real_program_passes(self, compiled):
+        program, _trace, _assignment = compiled
+        validate_machine_program(program)
+
+
+class TestValidateTrace:
+    def test_real_trace_passes(self, compiled):
+        program, trace, assignment = compiled
+        validate_trace(trace, assignment, program, benchmark="compress")
+
+    def test_corrupt_operand_detected(self, compiled):
+        program, trace, assignment = compiled
+        index, src_position = next(
+            (i, 0)
+            for i, record in enumerate(trace)
+            if record.instr.srcs and record.instr.uid >= 0
+        )
+        original = trace[index].instr.srcs[src_position]
+        replacement = int_reg((original.index + 1) % 30 + 1)
+        corrupted = corrupt_operand(trace, index, src_position, replacement)
+        with pytest.raises(TraceError, match="disagrees") as info:
+            validate_trace(corrupted, assignment, program, benchmark="compress")
+        assert info.value.seq == index
+        assert info.value.benchmark == "compress"
+
+    def test_truncated_trace_detected(self, compiled):
+        program, trace, assignment = compiled
+        truncated = truncate_trace(trace, drop_at=10, count=3)
+        with pytest.raises(TraceError, match="contiguous") as info:
+            validate_trace(truncated, assignment, program)
+        assert info.value.context["position"] == 10
+
+    def test_missing_branch_direction(self):
+        branch = MachineInstruction(
+            Opcode.BNE, srcs=(int_reg(2),), target="b0"
+        )
+        trace = trace_from_instructions([branch])
+        trace[0].taken = None
+        with pytest.raises(TraceError, match="direction"):
+            validate_trace(trace, RegisterAssignment.single_cluster())
+
+    def test_unowned_operand_register(self):
+        add = MachineInstruction(
+            Opcode.ADDQ, dest=int_reg(4), srcs=(int_reg(7), int_reg(2))
+        )
+        trace = trace_from_instructions([add])
+        with pytest.raises(TraceError, match="not owned") as info:
+            validate_trace(trace, _HoleyAssignment())
+        assert info.value.context["register"] == "r7"
+
+
+class TestValidateRun:
+    def test_composite_passes_on_good_inputs(self, compiled):
+        program, trace, assignment = compiled
+        validate_run(
+            single_cluster_config(), assignment, trace, program, benchmark="compress"
+        )
+
+    def test_composite_rejects_bad_config_first(self, compiled):
+        program, trace, assignment = compiled
+        with pytest.raises(ConfigError):
+            validate_run(
+                replace(single_cluster_config(), retire_width=0),
+                assignment,
+                trace,
+                program,
+            )

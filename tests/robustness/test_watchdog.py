@@ -1,0 +1,83 @@
+"""Watchdog: cycle budget, forward-progress detection, diagnostics."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.registers import RegisterAssignment
+from repro.errors import SimulationError, WatchdogTimeout
+from repro.isa.instructions import MachineInstruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import int_reg
+from repro.uarch.config import dual_cluster_config, single_cluster_config
+from repro.uarch.processor import Processor
+
+from tests.uarch.helpers import trace_from_instructions
+
+
+def adds(n):
+    return [
+        MachineInstruction(
+            Opcode.ADDQ, dest=int_reg(2 + 2 * (i % 10)), srcs=(int_reg(0),)
+        )
+        for i in range(n)
+    ]
+
+
+class TestCycleBudget:
+    def test_budget_exceeded_raises_watchdog_timeout(self):
+        processor = Processor(
+            single_cluster_config(), RegisterAssignment.single_cluster()
+        )
+        trace = trace_from_instructions(adds(200))
+        with pytest.raises(WatchdogTimeout) as info:
+            processor.run(trace, max_cycles=3)
+        error = info.value
+        assert "budget" in error.message
+        assert error.cycle is not None
+        assert error.diagnostics
+
+    def test_watchdog_timeout_is_a_simulation_error(self):
+        # Pre-existing ``except SimulationError`` call sites keep working.
+        processor = Processor(
+            single_cluster_config(), RegisterAssignment.single_cluster()
+        )
+        with pytest.raises(SimulationError):
+            processor.run(trace_from_instructions(adds(200)), max_cycles=3)
+
+    def test_config_cycle_budget_used_when_no_max_cycles(self):
+        config = replace(single_cluster_config(), cycle_budget=3)
+        processor = Processor(config, RegisterAssignment.single_cluster())
+        with pytest.raises(WatchdogTimeout):
+            processor.run(trace_from_instructions(adds(200)))
+
+    def test_explicit_max_cycles_overrides_config_budget(self):
+        config = replace(single_cluster_config(), cycle_budget=3)
+        processor = Processor(config, RegisterAssignment.single_cluster())
+        result = processor.run(trace_from_instructions(adds(50)), max_cycles=100_000)
+        assert result.stats.instructions == 50
+
+    def test_generous_default_budget_lets_normal_runs_finish(self):
+        processor = Processor(
+            dual_cluster_config(), RegisterAssignment.even_odd_dual()
+        )
+        result = processor.run(trace_from_instructions(adds(100)))
+        assert result.stats.instructions == 100
+
+
+class TestDiagnosticDump:
+    def test_dump_names_machine_state_and_recent_events(self):
+        processor = Processor(
+            dual_cluster_config(), RegisterAssignment.even_odd_dual()
+        )
+        processor.run(trace_from_instructions(adds(20)))
+        dump = "\n".join(processor.diagnostic_dump())
+        assert "cycle=" in dump
+        assert "cluster 0" in dump and "cluster 1" in dump
+        assert "retire" in dump  # recent-event ring has retirement entries
+
+    def test_ring_buffer_is_bounded(self):
+        config = replace(dual_cluster_config(), diag_ring_entries=16)
+        processor = Processor(config, RegisterAssignment.even_odd_dual())
+        processor.run(trace_from_instructions(adds(100)))
+        assert len(processor._recent) == 16

@@ -6,8 +6,6 @@ from repro.isa.instructions import MachineInstruction
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import int_reg
 from repro.uarch.config import dual_cluster_config, with_buffer_entries
-from repro.uarch.processor import Processor
-from repro.workloads.trace import DynamicInstruction
 
 from tests.uarch.helpers import completion_cycles, issue_cycles, run_trace
 

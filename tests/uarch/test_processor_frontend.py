@@ -9,7 +9,6 @@ from repro.uarch.config import (
     single_cluster_config,
 )
 from repro.uarch.processor import Processor, SimulationError, simulate
-from repro.workloads.trace import DynamicInstruction
 
 from tests.uarch.helpers import issue_cycles, run_trace, trace_from_instructions
 

@@ -77,7 +77,8 @@ class TestWaiters:
 
 class TestClusterRename:
     def test_classes_separate(self):
-        cr = ClusterRename(16, 16, list(all_registers())[:8] + [r for r in all_registers() if r.rclass is RegisterClass.FP][:4])
+        fp_regs = [r for r in all_registers() if r.rclass is RegisterClass.FP]
+        cr = ClusterRename(16, 16, list(all_registers())[:8] + fp_regs[:4])
         assert cr.files[RegisterClass.INT] is not cr.files[RegisterClass.FP]
 
     def test_can_allocate_checks_both_classes(self):

@@ -2,11 +2,12 @@
 
 Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 
-    python -m repro table2 [--trace-length N] [--benchmarks a b ...]
+    python -m repro table2 [--trace-length N] [--benchmarks a b ...] [--jobs N]
     python -m repro scenarios
     python -m repro figure6
-    python -m repro cycle-time [--trace-length N]
-    python -m repro ablations [--benchmark NAME] [--trace-length N]
+    python -m repro cycle-time [--trace-length N] [--jobs N]
+    python -m repro ablations [--benchmark NAME] [--trace-length N] [--jobs N]
+    python -m repro bench [--quick] [--jobs N] [--output BENCH_table2.json]
 """
 
 from __future__ import annotations
@@ -16,6 +17,20 @@ import sys
 from typing import Optional, Sequence
 
 
+def _make_cache(args: argparse.Namespace):
+    """The artifact cache requested by --cache / --cache-dir (or None)."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None and getattr(args, "cache", False):
+        from repro.perf.cache import default_cache_dir
+
+        cache_dir = default_cache_dir()
+    if cache_dir is None:
+        return None
+    from repro.perf.cache import ArtifactCache
+
+    return ArtifactCache(cache_dir)
+
+
 def _evaluation_options(args: argparse.Namespace):
     from repro.experiments.harness import EvaluationOptions
 
@@ -23,14 +38,23 @@ def _evaluation_options(args: argparse.Namespace):
         trace_length=args.trace_length,
         self_check=getattr(args, "self_check", False),
         cycle_budget=getattr(args, "cycle_budget", 0),
+        jobs=getattr(args, "jobs", 1),
+        cache=_make_cache(args),
     )
+
+
+def _report_cache(options) -> None:
+    if options.cache is not None:
+        print(options.cache.stats.format(), file=sys.stderr)
 
 
 def _cmd_table2(args: argparse.Namespace) -> None:
     from repro.experiments.table2 import format_table2, run_table2
 
-    result = run_table2(args.benchmarks or None, _evaluation_options(args))
+    options = _evaluation_options(args)
+    result = run_table2(args.benchmarks or None, options)
     print(format_table2(result, detailed=args.detailed))
+    _report_cache(options)
     if result.failures:
         print(
             f"warning: {len(result.failures)} benchmark(s) failed; see the "
@@ -63,8 +87,10 @@ def _cmd_cycle_time(args: argparse.Namespace) -> None:
 
     print(format_cycle_time_report())
     print()
-    table2 = run_table2(args.benchmarks or None, _evaluation_options(args))
+    options = _evaluation_options(args)
+    table2 = run_table2(args.benchmarks or None, options)
     print(format_cycle_time_analysis(run_cycle_time_analysis(table2)))
+    _report_cache(options)
 
 
 def _cmd_ablations(args: argparse.Namespace) -> None:
@@ -93,9 +119,37 @@ def _cmd_ablations(args: argparse.Namespace) -> None:
     }
     selected = args.sweeps or list(sweeps)
     for name in selected:
-        result = sweeps[name](build, trace_length=args.trace_length)
+        result = sweeps[name](
+            build, trace_length=args.trace_length, jobs=getattr(args, "jobs", 1)
+        )
         print(result.format())
         print()
+
+
+def _add_perf_flags(
+    parser: argparse.ArgumentParser, cache_flags: bool = True
+) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep (1 = serial, 0 = one per CPU "
+        "core); results are bit-identical to the serial run",
+    )
+    if cache_flags:
+        parser.add_argument(
+            "--cache",
+            action="store_true",
+            help="cache compile/trace artifacts on disk "
+            "($REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+        parser.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="artifact cache directory (implies --cache)",
+        )
 
 
 def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
@@ -126,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     t2.add_argument("--benchmarks", nargs="*", default=None)
     t2.add_argument("--detailed", action="store_true", default=True)
     _add_robustness_flags(t2)
+    _add_perf_flags(t2)
     t2.set_defaults(func=_cmd_table2)
 
     sc = sub.add_parser("scenarios", help="Figures 2-5 execution timelines")
@@ -138,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     ct.add_argument("--trace-length", type=int, default=40_000)
     ct.add_argument("--benchmarks", nargs="*", default=None)
     _add_robustness_flags(ct)
+    _add_perf_flags(ct)
     ct.set_defaults(func=_cmd_cycle_time)
 
     ab = sub.add_parser("ablations", help="design-choice sweeps")
@@ -152,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
         ],
         default=None,
     )
+    _add_perf_flags(ab, cache_flags=False)
     ab.set_defaults(func=_cmd_ablations)
 
     rp = sub.add_parser("report", help="regenerate everything into REPORT.md")
@@ -163,7 +220,30 @@ def build_parser() -> argparse.ArgumentParser:
         "reassignment", help="dynamic register reassignment demo (Section 6)"
     )
     ra.add_argument("--phase-length", type=int, default=2000)
+    _add_perf_flags(ra, cache_flags=False)
     ra.set_defaults(func=_cmd_reassignment)
+
+    be = sub.add_parser(
+        "bench",
+        help="time Table 2 serial vs parallel vs cached; write BENCH_table2.json",
+    )
+    be.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI preset: short traces (trace_length defaults to 2000)",
+    )
+    be.add_argument("--trace-length", type=int, default=None)
+    be.add_argument("--benchmarks", nargs="*", default=None)
+    be.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="workers for the parallel sweep (0 = one per core, min 2)",
+    )
+    be.add_argument("--output", default="BENCH_table2.json")
+    be.add_argument("--cache-dir", default=None, metavar="DIR")
+    be.set_defaults(func=_cmd_bench)
     return parser
 
 
@@ -173,7 +253,26 @@ def _cmd_reassignment(args: argparse.Namespace) -> None:
         run_reassignment_demo,
     )
 
-    print(format_reassignment_result(run_reassignment_demo(args.phase_length)))
+    print(
+        format_reassignment_result(
+            run_reassignment_demo(args.phase_length, jobs=getattr(args, "jobs", 1))
+        )
+    )
+
+
+def _cmd_bench(args: argparse.Namespace) -> None:
+    from repro.perf.bench import run_bench
+
+    report = run_bench(
+        benchmarks=args.benchmarks or None,
+        trace_length=args.trace_length,
+        quick=args.quick,
+        jobs=args.jobs,
+        output=args.output,
+        cache_dir=args.cache_dir,
+    )
+    print(report.format())
+    print(f"wrote {args.output}")
 
 
 def _cmd_report(args: argparse.Namespace) -> None:

@@ -27,6 +27,7 @@ class AffinityPartitioner(Partitioner):
     """Balanced two-way graph partitioning of the live-range affinity graph."""
 
     name = "affinity-kl"
+    _token_fields = ('refinement_passes', 'balance_tolerance')
 
     def __init__(
         self,

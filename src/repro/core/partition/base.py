@@ -19,8 +19,20 @@ class Partitioner(abc.ABC):
     #: Short name used in reports and experiment tables.
     name: str = "base"
 
+    #: Constructor parameters (beyond ``num_clusters``) that change the
+    #: partition a subclass produces; the artifact cache keys off these,
+    #: never off mutable working state left behind by a ``partition`` run.
+    _token_fields: tuple[str, ...] = ()
+
     def __init__(self, num_clusters: int = 2) -> None:
         self.num_clusters = num_clusters
+
+    @property
+    def cache_token(self) -> str:
+        """Deterministic identity for artifact-cache keys."""
+        params = [f"num_clusters={self.num_clusters}"]
+        params.extend(f"{n}={getattr(self, n)}" for n in self._token_fields)
+        return f"{type(self).__name__}({','.join(params)})"
 
     @abc.abstractmethod
     def partition(

@@ -35,6 +35,7 @@ class RandomPartitioner(Partitioner):
     """Uniformly random assignment (seeded, reproducible)."""
 
     name = "random"
+    _token_fields = ('seed',)
 
     def __init__(self, num_clusters: int = 2, seed: int = 0) -> None:
         super().__init__(num_clusters)
@@ -56,6 +57,7 @@ class SingleClusterPartitioner(Partitioner):
     """
 
     name = "one-sided"
+    _token_fields = ('cluster',)
 
     def __init__(self, num_clusters: int = 2, cluster: int = 0) -> None:
         super().__init__(num_clusters)

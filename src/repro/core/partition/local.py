@@ -50,6 +50,7 @@ class LocalScheduler(Partitioner):
     """
 
     name = "local"
+    _token_fields = ('imbalance_threshold', 'imbalance_scope')
 
     def __init__(
         self,

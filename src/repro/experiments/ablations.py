@@ -69,16 +69,40 @@ def _point(label: str, workload: Workload, options: EvaluationOptions) -> Ablati
     )
 
 
+def _points(
+    tasks: list[tuple[str, Workload, EvaluationOptions]], jobs: int
+) -> list[AblationPoint]:
+    """Evaluate labelled sweep points, fanning out to workers for jobs != 1.
+
+    Same bit-identity contract as the Table 2 sweep: every stage is
+    seeded, so the parallel path returns exactly the serial points.
+    """
+    if jobs == 1:
+        return [_point(label, workload, options) for label, workload, options in tasks]
+    from repro.perf.parallel import evaluate_many
+
+    evaluations = evaluate_many(
+        [(workload, options) for _, workload, options in tasks], jobs=jobs
+    )
+    return [
+        AblationPoint(
+            label=label,
+            pct_none=ev.pct_none,
+            pct_local=ev.pct_local,
+            dual_fraction=ev.dual_local.stats.dual_fraction,
+            replays=ev.dual_local.stats.replay_exceptions,
+        )
+        for (label, _, _), ev in zip(tasks, evaluations)
+    ]
+
+
 def run_issue_width_ablation(
-    build: Callable[[], Workload], trace_length: int = 30_000
+    build: Callable[[], Workload], trace_length: int = 30_000, jobs: int = 1
 ) -> AblationResult:
     """E10: 8-way single vs 2x4 dual, and 4-way single vs 2x2 dual."""
-    result = AblationResult("issue width (single vs clustered pair)")
-    result.points.append(
-        _point("8-way vs 2x4-way", build(), EvaluationOptions(trace_length=trace_length))
-    )
-    result.points.append(
-        _point(
+    tasks = [
+        ("8-way vs 2x4-way", build(), EvaluationOptions(trace_length=trace_length)),
+        (
             "4-way vs 2x2-way",
             build(),
             EvaluationOptions(
@@ -86,55 +110,59 @@ def run_issue_width_ablation(
                 single_config=single_cluster_4way_config(),
                 dual_config=dual_cluster_2way_config(),
             ),
-        )
+        ),
+    ]
+    return AblationResult(
+        "issue width (single vs clustered pair)", _points(tasks, jobs)
     )
-    return result
 
 
 def run_threshold_ablation(
     build: Callable[[], Workload],
     thresholds: tuple[int, ...] = (0, 1, 2, 4, 8, 16),
     trace_length: int = 30_000,
+    jobs: int = 1,
 ) -> AblationResult:
     """Sweep the local scheduler's compile-time imbalance constant."""
-    result = AblationResult("local-scheduler imbalance threshold")
-    for threshold in thresholds:
-        result.points.append(
-            _point(
-                f"threshold={threshold}",
-                build(),
-                EvaluationOptions(
-                    trace_length=trace_length,
-                    partitioner=LocalScheduler(imbalance_threshold=threshold),
-                ),
-            )
+    tasks = [
+        (
+            f"threshold={threshold}",
+            build(),
+            EvaluationOptions(
+                trace_length=trace_length,
+                partitioner=LocalScheduler(imbalance_threshold=threshold),
+            ),
         )
-    return result
+        for threshold in thresholds
+    ]
+    return AblationResult(
+        "local-scheduler imbalance threshold", _points(tasks, jobs)
+    )
 
 
 def run_buffer_depth_ablation(
     build: Callable[[], Workload],
     depths: tuple[int, ...] = (2, 4, 8, 16, 32),
     trace_length: int = 30_000,
+    jobs: int = 1,
 ) -> AblationResult:
     """Sweep the operand/result transfer-buffer depth (paper: 8 + 8)."""
-    result = AblationResult("transfer-buffer entries per cluster")
-    for depth in depths:
-        result.points.append(
-            _point(
-                f"entries={depth}",
-                build(),
-                EvaluationOptions(
-                    trace_length=trace_length,
-                    dual_config=with_buffer_entries(dual_cluster_config(), depth),
-                ),
-            )
+    tasks = [
+        (
+            f"entries={depth}",
+            build(),
+            EvaluationOptions(
+                trace_length=trace_length,
+                dual_config=with_buffer_entries(dual_cluster_config(), depth),
+            ),
         )
-    return result
+        for depth in depths
+    ]
+    return AblationResult("transfer-buffer entries per cluster", _points(tasks, jobs))
 
 
 def run_partitioner_ablation(
-    build: Callable[[], Workload], trace_length: int = 30_000
+    build: Callable[[], Workload], trace_length: int = 30_000, jobs: int = 1
 ) -> AblationResult:
     """Local scheduler vs balance-blind baselines."""
     partitioners: list[Partitioner] = [
@@ -143,22 +171,46 @@ def run_partitioner_ablation(
         RoundRobinPartitioner(),
         RandomPartitioner(seed=3),
     ]
-    result = AblationResult("partitioner (column 'local %' is the partitioned binary)")
-    for partitioner in partitioners:
-        result.points.append(
-            _point(
-                partitioner.name,
-                build(),
-                EvaluationOptions(trace_length=trace_length, partitioner=partitioner),
-            )
+    tasks = [
+        (
+            partitioner.name,
+            build(),
+            EvaluationOptions(trace_length=trace_length, partitioner=partitioner),
         )
-    return result
+        for partitioner in partitioners
+    ]
+    return AblationResult(
+        "partitioner (column 'local %' is the partitioned binary)",
+        _points(tasks, jobs),
+    )
+
+
+def _queue_size_task(item) -> "QueueSizePoint":
+    """One single-cluster run at one dispatch-queue size (worker-safe)."""
+    import dataclasses
+
+    from repro.uarch.config import single_cluster_config
+    from repro.uarch.processor import simulate
+
+    entries, trace = item
+    base = single_cluster_config(name=f"single-q{entries}")
+    cluster = dataclasses.replace(base.clusters[0], dispatch_queue_entries=entries)
+    config = dataclasses.replace(base, clusters=(cluster,))
+    result = simulate(trace, config)
+    return QueueSizePoint(
+        entries=entries,
+        cycles=result.cycles,
+        branch_accuracy=result.stats.branch_accuracy,
+        dcache_miss_rate=result.stats.dcache_miss_rate,
+        issue_disorder=result.stats.issue_disorder,
+    )
 
 
 def run_queue_size_ablation(
     build: Callable[[], Workload],
     queue_sizes: tuple[int, ...] = (32, 64, 128, 256),
     trace_length: int = 30_000,
+    jobs: int = 1,
 ) -> "QueueSizeResult":
     """The paper's explanation for the compress anomaly, isolated.
 
@@ -169,11 +221,8 @@ def run_queue_size_ablation(
     native binary on single-cluster machines that differ only in dispatch
     queue size, exposing how much queue depth costs or buys on a workload.
     """
-    import dataclasses
-
     from repro.compiler.pipeline import compile_program
-    from repro.uarch.config import single_cluster_config
-    from repro.uarch.processor import simulate
+    from repro.perf.parallel import parallel_map
     from repro.workloads.tracegen import TraceGenerator
 
     workload = build()
@@ -182,23 +231,9 @@ def run_queue_size_ablation(
         native.machine, workload.streams, workload.behaviors, seed=7
     ).generate(trace_length)
 
-    rows = []
-    for entries in queue_sizes:
-        base = single_cluster_config(name=f"single-q{entries}")
-        cluster = dataclasses.replace(
-            base.clusters[0], dispatch_queue_entries=entries
-        )
-        config = dataclasses.replace(base, clusters=(cluster,))
-        result = simulate(trace, config)
-        rows.append(
-            QueueSizePoint(
-                entries=entries,
-                cycles=result.cycles,
-                branch_accuracy=result.stats.branch_accuracy,
-                dcache_miss_rate=result.stats.dcache_miss_rate,
-                issue_disorder=result.stats.issue_disorder,
-            )
-        )
+    rows = parallel_map(
+        _queue_size_task, [(entries, trace) for entries in queue_sizes], jobs=jobs
+    )
     return QueueSizeResult(workload.name, rows)
 
 
@@ -230,30 +265,30 @@ class QueueSizeResult:
 
 
 def run_imbalance_scope_ablation(
-    build: Callable[[], Workload], trace_length: int = 30_000
+    build: Callable[[], Workload], trace_length: int = 30_000, jobs: int = 1
 ) -> AblationResult:
     """Whole-block vs prefix-only imbalance estimation in the local
     scheduler (the interpretation choice documented in
     :func:`repro.core.balance.imbalance_around`)."""
-    result = AblationResult("local-scheduler imbalance scope")
-    for scope in ("block", "prefix"):
-        result.points.append(
-            _point(
-                f"scope={scope}",
-                build(),
-                EvaluationOptions(
-                    trace_length=trace_length,
-                    partitioner=LocalScheduler(imbalance_scope=scope),
-                ),
-            )
+    tasks = [
+        (
+            f"scope={scope}",
+            build(),
+            EvaluationOptions(
+                trace_length=trace_length,
+                partitioner=LocalScheduler(imbalance_scope=scope),
+            ),
         )
-    return result
+        for scope in ("block", "prefix")
+    ]
+    return AblationResult("local-scheduler imbalance scope", _points(tasks, jobs))
 
 
 def run_unroll_ablation(
     build: Callable[[], Workload],
     factors: tuple[int, ...] = (1, 2, 4),
     trace_length: int = 30_000,
+    jobs: int = 1,
 ) -> AblationResult:
     """Section 6 future work: unroll inner loops before partitioning.
 
@@ -266,7 +301,7 @@ def run_unroll_ablation(
     from repro.compiler.passes.unroll import unroll_program
     from repro.workloads.branch_models import LoopBranch
 
-    result = AblationResult("loop unrolling factor (Section 6 future work)")
+    tasks = []
     for factor in factors:
         workload = build()
         if factor > 1 and unroll_program(workload.program, factor):
@@ -277,20 +312,23 @@ def run_unroll_ablation(
                     workload.behaviors[name] = LoopBranch(
                         max(1, model.trip_count // factor), model.jitter
                     )
-        result.points.append(
-            _point(
+        tasks.append(
+            (
                 f"unroll x{factor}",
                 workload,
                 EvaluationOptions(trace_length=trace_length),
             )
         )
-    return result
+    return AblationResult(
+        "loop unrolling factor (Section 6 future work)", _points(tasks, jobs)
+    )
 
 
 def run_global_widening_ablation(
     build: Callable[[], Workload],
     extra_global_registers: tuple[int, ...] = (0, 2, 4),
     trace_length: int = 30_000,
+    jobs: int = 1,
 ) -> AblationResult:
     """Section 6 future work: allocate key variables to global registers.
 
@@ -302,34 +340,35 @@ def run_global_widening_ablation(
     """
     from repro.isa.registers import int_reg
 
-    result = AblationResult("extra global registers (Section 6 future work)")
+    tasks = []
     for count in extra_global_registers:
         extras = tuple(int_reg(2 + i) for i in range(count))
         assignment = RegisterAssignment.even_odd_dual(extra_globals=extras)
-        result.points.append(
-            _point(
+        tasks.append(
+            (
                 f"extra globals={count}",
                 build(),
                 EvaluationOptions(trace_length=trace_length, dual_assignment=assignment),
             )
         )
-    return result
+    return AblationResult(
+        "extra global registers (Section 6 future work)", _points(tasks, jobs)
+    )
 
 
 def run_assignment_ablation(
-    build: Callable[[], Workload], trace_length: int = 30_000
+    build: Callable[[], Workload], trace_length: int = 30_000, jobs: int = 1
 ) -> AblationResult:
     """Even/odd (the paper's choice) vs low/high register-to-cluster maps."""
-    result = AblationResult("register-to-cluster assignment")
-    for label, assignment in (
-        ("even/odd", RegisterAssignment.even_odd_dual()),
-        ("low/high", RegisterAssignment.low_high_dual()),
-    ):
-        result.points.append(
-            _point(
-                label,
-                build(),
-                EvaluationOptions(trace_length=trace_length, dual_assignment=assignment),
-            )
+    tasks = [
+        (
+            label,
+            build(),
+            EvaluationOptions(trace_length=trace_length, dual_assignment=assignment),
         )
-    return result
+        for label, assignment in (
+            ("even/odd", RegisterAssignment.even_odd_dual()),
+            ("low/high", RegisterAssignment.low_high_dual()),
+        )
+    ]
+    return AblationResult("register-to-cluster assignment", _points(tasks, jobs))

@@ -106,6 +106,21 @@ def run_figure6(imbalance_threshold: int = 2) -> Figure6Result:
     )
 
 
+def run_figure6_sweep(
+    thresholds: tuple[int, ...] = (0, 1, 2, 4, 8), jobs: int = 1
+) -> list[tuple[int, Figure6Result]]:
+    """Run the Figure 6 walk-through across imbalance thresholds.
+
+    The worked example is deterministic per threshold, so the sweep is
+    embarrassingly parallel; ``jobs != 1`` fans the points out to worker
+    processes with identical results.
+    """
+    from repro.perf.parallel import parallel_map
+
+    results = parallel_map(run_figure6, list(thresholds), jobs=jobs)
+    return list(zip(thresholds, results))
+
+
 def main() -> None:  # pragma: no cover - CLI convenience
     result = run_figure6()
     print("Figure 6 local-scheduler walk-through")

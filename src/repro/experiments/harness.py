@@ -13,31 +13,59 @@ The methodology mirrors Section 4:
    rescheduled binary on the dual-cluster machine (column "local");
 5. report the percentage speedup ``100 - 100 * C_dual / C_single``
    (negative = slowdown), the paper's Table 2 metric.
+
+The three simulations of step 4 are the sweep engine's unit of work: an
+evaluation decomposes into :data:`PARTS`, each independently computable
+from ``(workload, options)`` — that is what lets ``--jobs N`` fan a
+benchmark's runs out to worker processes while staying bit-identical to
+the serial path (every stage is seeded and deterministic).
+
+Compilation results and generated traces flow through a content-keyed
+:class:`~repro.perf.cache.ArtifactCache` (an ephemeral in-memory one when
+``options.cache`` is unset, so the native binary is still compiled and
+traced only once per evaluation).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.compiler.pipeline import CompilationResult, CompilerOptions, compile_program
 from repro.core.partition.base import Partitioner
 from repro.core.partition.local import LocalScheduler
 from repro.core.registers import RegisterAssignment
-from repro.errors import ReproError
-from repro.robustness.validate import validate_run
+from repro.errors import ReproError, SimulationError
+from repro.perf.cache import ArtifactCache, compile_key, trace_key
+from repro.robustness.validate import validate_run, validate_trace_length
 from repro.uarch.config import ProcessorConfig, dual_cluster_config, single_cluster_config
 from repro.uarch.processor import SimulationResult, simulate
 from repro.workloads.generator import Workload
 from repro.workloads.spec92 import DEFAULT_TRACE_LENGTH
 from repro.workloads.tracegen import TraceGenerator
 
+#: The three independently computable runs of one benchmark evaluation,
+#: in the order the serial methodology performs (and validates) them.
+PARTS = ("single", "dual_none", "dual_local")
+
 
 def speedup_percent(single_cycles: int, dual_cycles: int) -> float:
     """Table 2's metric: ``100 - 100 * C_dual / C_single``.
 
     Positive values are speedups, negative values slowdowns.
+
+    Raises:
+        SimulationError: if the baseline retired in zero cycles (an empty
+            or corrupt run) — the metric is undefined, and an untyped
+            ``ZeroDivisionError`` must never escape the harness.
     """
+    if single_cycles == 0:
+        raise SimulationError(
+            "single-cluster baseline reports zero cycles; speedup is undefined "
+            "(empty trace or corrupt simulation result)",
+            single_cycles=single_cycles,
+            dual_cycles=dual_cycles,
+        )
     return 100.0 - 100.0 * dual_cycles / single_cycles
 
 
@@ -60,6 +88,16 @@ class BenchmarkEvaluation:
     @property
     def pct_local(self) -> float:
         return speedup_percent(self.single.cycles, self.dual_local.cycles)
+
+
+@dataclass
+class PartOutcome:
+    """One completed part of an evaluation (the parallel unit of work)."""
+
+    part: str
+    sim: SimulationResult
+    compile_result: CompilationResult
+    trace_length: int
 
 
 @dataclass
@@ -110,6 +148,13 @@ class EvaluationOptions:
     self_check: bool = False
     #: Watchdog cycle budget per simulation (0 = derived default).
     cycle_budget: int = 0
+    #: Worker processes for sweeps (1 = serial; 0 = one per CPU core).
+    #: Consumed by ``run_table2`` and the other sweep drivers, not by a
+    #: single ``evaluate_workload`` call.
+    jobs: int = 1
+    #: Artifact cache for compile/trace results.  ``None`` uses a fresh
+    #: in-memory cache per evaluation (no cross-call reuse).
+    cache: Optional[ArtifactCache] = None
 
     def apply_robustness(self, config: ProcessorConfig) -> ProcessorConfig:
         """Thread the self-check / cycle-budget knobs into a machine config."""
@@ -122,72 +167,134 @@ class EvaluationOptions:
         )
 
 
-def evaluate_workload(
-    workload: Workload, options: Optional[EvaluationOptions] = None
-) -> BenchmarkEvaluation:
-    """Run the full Section 4 methodology on one workload."""
-    options = options or EvaluationOptions()
-    single_config = options.apply_robustness(
-        options.single_config or single_cluster_config()
+def _compile_cached(
+    workload: Workload,
+    assignment: RegisterAssignment,
+    partitioner: Optional[Partitioner],
+    options: EvaluationOptions,
+    cache: ArtifactCache,
+) -> tuple[CompilationResult, str]:
+    """Compile through the artifact cache; returns (result, compile key)."""
+    key = compile_key(
+        workload.name, workload.program, assignment, partitioner, options.compiler
     )
-    dual_config = options.apply_robustness(options.dual_config or dual_cluster_config())
+    compiled = cache.get("compile", key)
+    if compiled is None:
+        compiled = compile_program(
+            workload.program, assignment, partitioner=partitioner,
+            options=options.compiler,
+        )
+        cache.put("compile", key, compiled)
+    return compiled, key
+
+
+def _trace_cached(
+    workload: Workload,
+    compiled: CompilationResult,
+    ckey: str,
+    options: EvaluationOptions,
+    cache: ArtifactCache,
+) -> Sequence:
+    """Generate the dynamic trace through the artifact cache."""
+    key = trace_key(
+        ckey, workload.streams, workload.behaviors,
+        options.trace_seed, options.trace_length,
+    )
+    trace = cache.get("trace", key)
+    if trace is None:
+        trace = TraceGenerator(
+            compiled.machine, workload.streams, workload.behaviors,
+            seed=options.trace_seed,
+        ).generate(options.trace_length)
+        cache.put("trace", key, trace)
+    return trace
+
+
+def evaluate_workload_part(
+    workload: Workload,
+    part: str,
+    options: Optional[EvaluationOptions] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> PartOutcome:
+    """Run one of the three Section 4 simulations for one workload.
+
+    Each part compiles the binary it needs (native for ``single`` and
+    ``dual_none``, rescheduled for ``dual_local``), traces it, validates
+    the run, and simulates — all through the artifact cache, so parts
+    that share a binary share the compile and trace work whenever they
+    share a cache.
+    """
+    if part not in PARTS:
+        raise ValueError(f"unknown evaluation part {part!r}; valid: {PARTS}")
+    options = options or EvaluationOptions()
+    validate_trace_length(options.trace_length, benchmark=workload.name)
+    if cache is None:
+        cache = options.cache if options.cache is not None else ArtifactCache()
+
     dual_assignment = options.dual_assignment or RegisterAssignment.even_odd_dual()
     partitioner = options.partitioner or LocalScheduler()
 
-    native = compile_program(
-        workload.program,
-        RegisterAssignment.single_cluster(),
-        partitioner=None,
-        options=options.compiler,
-    )
-    rescheduled = compile_program(
-        workload.program,
-        dual_assignment,
-        partitioner=partitioner,
-        options=options.compiler,
-    )
+    if part == "dual_local":
+        compiled, ckey = _compile_cached(
+            workload, dual_assignment, partitioner, options, cache
+        )
+    else:
+        compiled, ckey = _compile_cached(
+            workload, RegisterAssignment.single_cluster(), None, options, cache
+        )
+    trace = _trace_cached(workload, compiled, ckey, options, cache)
 
-    native_trace = TraceGenerator(
-        native.machine, workload.streams, workload.behaviors, seed=options.trace_seed
-    ).generate(options.trace_length)
-    local_trace = TraceGenerator(
-        rescheduled.machine, workload.streams, workload.behaviors, seed=options.trace_seed
-    ).generate(options.trace_length)
+    if part == "single":
+        config = options.apply_robustness(
+            options.single_config or single_cluster_config()
+        )
+        assignment = RegisterAssignment.single_cluster()
+    else:
+        config = options.apply_robustness(options.dual_config or dual_cluster_config())
+        assignment = dual_assignment
 
-    single_assignment = RegisterAssignment.single_cluster()
     if options.validate:
         validate_run(
-            single_config,
-            single_assignment,
-            native_trace,
-            native.machine,
-            benchmark=workload.name,
+            config, assignment, trace, compiled.machine, benchmark=workload.name
         )
-        validate_run(
-            dual_config,
-            dual_assignment,
-            native_trace,
-            native.machine,
-            benchmark=workload.name,
-        )
-        validate_run(
-            dual_config,
-            dual_assignment,
-            local_trace,
-            rescheduled.machine,
-            benchmark=workload.name,
-        )
-
-    single = simulate(native_trace, single_config, single_assignment)
-    dual_none = simulate(native_trace, dual_config, dual_assignment)
-    dual_local = simulate(local_trace, dual_config, dual_assignment)
-
-    return BenchmarkEvaluation(
-        name=workload.name,
-        single=single,
-        dual_none=dual_none,
-        dual_local=dual_local,
-        native_compile=native,
-        local_compile=rescheduled,
+    sim = simulate(trace, config, assignment)
+    return PartOutcome(
+        part=part,
+        sim=sim,
+        compile_result=compiled,
         trace_length=options.trace_length,
     )
+
+
+def assemble_evaluation(
+    name: str, outcomes: Sequence[PartOutcome]
+) -> BenchmarkEvaluation:
+    """Combine the three part outcomes into one :class:`BenchmarkEvaluation`."""
+    by_part = {outcome.part: outcome for outcome in outcomes}
+    missing = [part for part in PARTS if part not in by_part]
+    if missing:
+        raise ValueError(f"incomplete evaluation for {name!r}: missing {missing}")
+    return BenchmarkEvaluation(
+        name=name,
+        single=by_part["single"].sim,
+        dual_none=by_part["dual_none"].sim,
+        dual_local=by_part["dual_local"].sim,
+        native_compile=by_part["single"].compile_result,
+        local_compile=by_part["dual_local"].compile_result,
+        trace_length=by_part["single"].trace_length,
+    )
+
+
+def evaluate_workload(
+    workload: Workload,
+    options: Optional[EvaluationOptions] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> BenchmarkEvaluation:
+    """Run the full Section 4 methodology on one workload."""
+    options = options or EvaluationOptions()
+    if cache is None:
+        cache = options.cache if options.cache is not None else ArtifactCache()
+    outcomes = [
+        evaluate_workload_part(workload, part, options, cache) for part in PARTS
+    ]
+    return assemble_evaluation(workload.name, outcomes)

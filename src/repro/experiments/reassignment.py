@@ -123,21 +123,41 @@ class ReassignmentResult:
         return self.dynamic < min(self.static_even_odd, self.static_low_high)
 
 
-def run_reassignment_demo(phase_length: int = 2000) -> ReassignmentResult:
-    """Race the two static maps against the dynamically switching machine."""
+def _reassignment_task(item):
+    """One of the three machine runs, worker-safe (rebuilds its trace)."""
+    phase_length, which = item
     config = dual_cluster_config()
+    if which == "even_odd":
+        trace = build_two_phase_trace(phase_length, dynamic=False)
+        assignment = RegisterAssignment.even_odd_dual()
+    elif which == "low_high":
+        trace = build_two_phase_trace(phase_length, dynamic=False)
+        assignment = RegisterAssignment.low_high_dual()
+    else:
+        trace = build_two_phase_trace(phase_length, dynamic=True)
+        assignment = RegisterAssignment.even_odd_dual()
+    return Processor(config, assignment).run(trace)
 
-    def run(trace, assignment):
-        return Processor(config, assignment).run(trace)
 
-    static_trace = build_two_phase_trace(phase_length, dynamic=False)
-    even_odd = run(static_trace, RegisterAssignment.even_odd_dual())
-    low_high = run(
-        build_two_phase_trace(phase_length, dynamic=False),
-        RegisterAssignment.low_high_dual(),
+def run_reassignment_demo(
+    phase_length: int = 2000, jobs: int = 1
+) -> ReassignmentResult:
+    """Race the two static maps against the dynamically switching machine.
+
+    The three runs are independent; ``jobs != 1`` runs them in worker
+    processes with bit-identical cycle counts (traces are rebuilt
+    deterministically inside each worker)."""
+    from repro.perf.parallel import parallel_map
+
+    even_odd, low_high, dynamic = parallel_map(
+        _reassignment_task,
+        [
+            (phase_length, "even_odd"),
+            (phase_length, "low_high"),
+            (phase_length, "dynamic"),
+        ],
+        jobs=jobs,
     )
-    dynamic_trace = build_two_phase_trace(phase_length, dynamic=True)
-    dynamic = run(dynamic_trace, RegisterAssignment.even_odd_dual())
 
     return ReassignmentResult(
         static_even_odd=even_odd.cycles,

@@ -54,7 +54,10 @@ class Table2Row:
     pct_local: float
     paper_none: Optional[int]
     paper_local: Optional[int]
-    evaluation: BenchmarkEvaluation = field(repr=False, default=None)  # type: ignore[assignment]
+    #: The full evaluation behind the row.  Optional for real: hand-built
+    #: rows (tests, external tabulations) carry only the percentages, and
+    #: consumers must guard accordingly.
+    evaluation: Optional[BenchmarkEvaluation] = field(repr=False, default=None)
 
 
 @dataclass
@@ -68,6 +71,15 @@ class Table2Result:
         for r in self.rows:
             if r.benchmark == benchmark:
                 return r
+        for failure in self.failures:
+            if failure.benchmark == benchmark:
+                raise ConfigError(
+                    f"benchmark {benchmark!r} failed during the sweep "
+                    f"({failure.error_type}: {failure.message}), so it has "
+                    "no row; see result.failures for the full record",
+                    benchmark=benchmark,
+                    error_type=failure.error_type,
+                )
         raise _unknown_benchmark(benchmark, [r.benchmark for r in self.rows])
 
 
@@ -82,13 +94,27 @@ def run_table2(
     fails with a :class:`ReproError` becomes a
     :class:`~repro.experiments.harness.BenchmarkFailure` record in
     ``result.failures``; the remaining rows are still computed.
+
+    ``options.jobs != 1`` fans the benchmarks and their three runs each
+    out to worker processes (``0`` = one per core) with bit-identical
+    row values and the same degradation contract; ``options.cache``
+    reuses compile/trace artifacts across runs.
     """
     names = list(benchmarks) if benchmarks is not None else sorted(SPEC92)
     for name in names:
         if name not in SPEC92:
             raise _unknown_benchmark(name, SPEC92)
+    options = options or EvaluationOptions()
     rows: list[Table2Row] = []
     failures: list[BenchmarkFailure] = []
+    if options.jobs != 1 and len(names) > 0:
+        from repro.perf.parallel import run_table2_parallel
+
+        evaluations, failures = run_table2_parallel(names, options)
+        for name in names:
+            if name in evaluations:
+                rows.append(_row_for(name, evaluations[name]))
+        return Table2Result(rows, failures)
     for name in names:
         try:
             workload = SPEC92[name]()
@@ -96,18 +122,20 @@ def run_table2(
         except ReproError as error:
             failures.append(BenchmarkFailure.from_error(name, error))
             continue
-        paper = PAPER_TABLE2.get(name)
-        rows.append(
-            Table2Row(
-                benchmark=name,
-                pct_none=evaluation.pct_none,
-                pct_local=evaluation.pct_local,
-                paper_none=paper[0] if paper else None,
-                paper_local=paper[1] if paper else None,
-                evaluation=evaluation,
-            )
-        )
+        rows.append(_row_for(name, evaluation))
     return Table2Result(rows, failures)
+
+
+def _row_for(name: str, evaluation: BenchmarkEvaluation) -> Table2Row:
+    paper = PAPER_TABLE2.get(name)
+    return Table2Row(
+        benchmark=name,
+        pct_none=evaluation.pct_none,
+        pct_local=evaluation.pct_local,
+        paper_none=paper[0] if paper else None,
+        paper_local=paper[1] if paper else None,
+        evaluation=evaluation,
+    )
 
 
 def format_table2(result: Table2Result, detailed: bool = False) -> str:
@@ -138,6 +166,11 @@ def format_table2(result: Table2Result, detailed: bool = False) -> str:
         )
         for row in result.rows:
             ev = row.evaluation
+            if ev is None:
+                lines.append(
+                    f"{row.benchmark:<10} (percentages only; no evaluation attached)"
+                )
+                continue
             lines.append(
                 f"{row.benchmark:<10} {ev.single.cycles:>10} {ev.dual_none.cycles:>10} "
                 f"{ev.dual_local.cycles:>10} "

@@ -1,0 +1,248 @@
+"""The ``repro bench`` harness: time Table 2 serial vs parallel vs cached.
+
+Four sweeps over the same benchmark set, in order:
+
+1. **serial** — ``jobs=1``, no shared cache (the PR 1 baseline path);
+2. **parallel** — ``jobs=N`` through the process-pool sweep engine;
+3. **cache-cold** — serial against an empty disk-backed artifact cache
+   (pays the pickling/writing overhead);
+4. **cache-warm** — serial against the now-populated cache (measures what
+   a re-run of an unchanged experiment costs).
+
+Every sweep must produce bit-identical rows — the harness checks this
+and records the verdict in the report; a divergence raises
+:class:`~repro.errors.SimulationError` *after* the report is written, so
+the failing numbers are always available for inspection.
+
+The report is written as ``BENCH_table2.json`` (schema below), the
+artifact CI's perf-smoke job uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.experiments.harness import EvaluationOptions
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.perf.cache import ArtifactCache
+from repro.perf.parallel import resolve_jobs
+from repro.workloads.spec92 import DEFAULT_TRACE_LENGTH, SPEC92
+
+#: JSON schema version of BENCH_table2.json.
+SCHEMA_VERSION = 1
+
+#: Trace length used by ``repro bench --quick`` (CI's perf-smoke job).
+QUICK_TRACE_LENGTH = 2_000
+
+
+@dataclass
+class BenchReport:
+    """Everything ``repro bench`` measured, JSON-serialisable."""
+
+    benchmarks: list[str]
+    trace_length: int
+    jobs: int
+    timings_s: dict[str, float]
+    rows: list[dict]
+    cache_stats: dict[str, dict[str, int]]
+    identical: bool
+    divergences: list[str] = field(default_factory=list)
+    timestamp: str = ""
+    python: str = ""
+    cpu_count: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "timestamp": self.timestamp,
+            "python": self.python,
+            "cpu_count": self.cpu_count,
+            "benchmarks": self.benchmarks,
+            "trace_length": self.trace_length,
+            "jobs": self.jobs,
+            "timings_s": self.timings_s,
+            "rows": self.rows,
+            "cache_stats": self.cache_stats,
+            "identical": self.identical,
+            "divergences": self.divergences,
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"bench: {len(self.benchmarks)} benchmarks @ trace_length="
+            f"{self.trace_length}, jobs={self.jobs}",
+            f"{'sweep':<12} {'seconds':>9}",
+        ]
+        serial = self.timings_s.get("serial")
+        for name, seconds in self.timings_s.items():
+            speedup = ""
+            if serial and name != "serial":
+                speedup = f"  ({serial / seconds:.2f}x vs serial)"
+            lines.append(f"{name:<12} {seconds:>9.3f}{speedup}")
+        lines.append(f"rows bit-identical across sweeps: {self.identical}")
+        for divergence in self.divergences:
+            lines.append(f"  divergence: {divergence}")
+        return "\n".join(lines)
+
+
+def _rows_payload(result: Table2Result) -> list[dict]:
+    rows = []
+    for row in result.rows:
+        payload = {
+            "benchmark": row.benchmark,
+            "pct_none": row.pct_none,
+            "pct_local": row.pct_local,
+        }
+        ev = row.evaluation
+        if ev is not None:
+            payload["cycles"] = {
+                "single": ev.single.cycles,
+                "dual_none": ev.dual_none.cycles,
+                "dual_local": ev.dual_local.cycles,
+            }
+        rows.append(payload)
+    for failure in result.failures:
+        rows.append(
+            {
+                "benchmark": failure.benchmark,
+                "failed": True,
+                "error_type": failure.error_type,
+                "message": failure.message,
+            }
+        )
+    return rows
+
+
+def _compare(name: str, baseline: list[dict], candidate: list[dict]) -> list[str]:
+    """Row-for-row comparison; returns human-readable divergences."""
+    if baseline == candidate:
+        return []
+    divergences = []
+    by_bench = {r["benchmark"]: r for r in candidate}
+    for row in baseline:
+        other = by_bench.get(row["benchmark"])
+        if other is None:
+            divergences.append(f"{name}: row {row['benchmark']!r} missing")
+        elif other != row:
+            divergences.append(
+                f"{name}: row {row['benchmark']!r} differs "
+                f"(serial {row} vs {other})"
+            )
+    for row in candidate:
+        if not any(r["benchmark"] == row["benchmark"] for r in baseline):
+            divergences.append(f"{name}: unexpected row {row['benchmark']!r}")
+    return divergences or [f"{name}: rows differ"]
+
+
+def run_bench(
+    benchmarks: Optional[Sequence[str]] = None,
+    trace_length: Optional[int] = None,
+    quick: bool = False,
+    jobs: int = 0,
+    output: Optional[os.PathLike] = "BENCH_table2.json",
+    cache_dir: Optional[os.PathLike] = None,
+) -> BenchReport:
+    """Run the four timed sweeps and write the report.
+
+    Args:
+        benchmarks: benchmark subset (default: all of SPEC92).
+        trace_length: per-run trace length; default is the full
+            ``DEFAULT_TRACE_LENGTH``, or :data:`QUICK_TRACE_LENGTH` with
+            ``quick``.
+        quick: CI-friendly preset (short traces).
+        jobs: worker count for the parallel sweep; ``0`` resolves to the
+            CPU count, floored at 2 so the pool path is always exercised.
+        output: report path (``None`` skips writing).
+        cache_dir: directory for the disk cache tier; default is a fresh
+            temporary directory (hermetic — timings never depend on a
+            previous bench run's leftovers).
+
+    Raises:
+        SimulationError: if any sweep's rows diverge from the serial
+            sweep's (raised after the report is written).
+    """
+    names = list(benchmarks) if benchmarks is not None else sorted(SPEC92)
+    if trace_length is None:
+        trace_length = QUICK_TRACE_LENGTH if quick else DEFAULT_TRACE_LENGTH
+    pool_jobs = max(2, resolve_jobs(jobs))
+
+    timings: dict[str, float] = {}
+    cache_stats: dict[str, dict[str, int]] = {}
+
+    def timed(label: str, options: EvaluationOptions) -> Table2Result:
+        start = time.perf_counter()
+        result = run_table2(names, options)
+        timings[label] = time.perf_counter() - start
+        if options.cache is not None:
+            cache_stats[label] = options.cache.stats.as_dict()
+        return result
+
+    serial = timed("serial", EvaluationOptions(trace_length=trace_length))
+    parallel = timed(
+        "parallel", EvaluationOptions(trace_length=trace_length, jobs=pool_jobs)
+    )
+
+    own_tmp = None
+    if cache_dir is None:
+        own_tmp = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_dir = own_tmp.name
+    try:
+        cold = timed(
+            "cache-cold",
+            EvaluationOptions(
+                trace_length=trace_length, cache=ArtifactCache(cache_dir)
+            ),
+        )
+        warm = timed(
+            "cache-warm",
+            EvaluationOptions(
+                trace_length=trace_length, cache=ArtifactCache(cache_dir)
+            ),
+        )
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()
+
+    baseline = _rows_payload(serial)
+    divergences = []
+    for label, result in (
+        ("parallel", parallel),
+        ("cache-cold", cold),
+        ("cache-warm", warm),
+    ):
+        divergences.extend(_compare(label, baseline, _rows_payload(result)))
+
+    report = BenchReport(
+        benchmarks=names,
+        trace_length=trace_length,
+        jobs=pool_jobs,
+        timings_s={k: round(v, 6) for k, v in timings.items()},
+        rows=baseline,
+        cache_stats=cache_stats,
+        identical=not divergences,
+        divergences=divergences,
+        timestamp=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        python=platform.python_version(),
+        cpu_count=os.cpu_count() or 1,
+    )
+
+    if output is not None:
+        path = Path(output)
+        path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+
+    if divergences:
+        raise SimulationError(
+            "bench sweeps are not bit-identical to the serial sweep "
+            "(report written; see its 'divergences' field)",
+            divergences=divergences,
+            output=str(output) if output is not None else None,
+        )
+    return report

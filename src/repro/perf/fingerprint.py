@@ -1,0 +1,118 @@
+"""Deterministic content fingerprints for artifact-cache keys.
+
+Python's built-in ``hash`` is randomized per process and the default
+``repr`` of arbitrary objects embeds memory addresses, so neither can key
+a cache shared between worker processes or persisted across runs.
+:func:`fingerprint` canonicalizes a value into a deterministic byte
+stream and hashes it with SHA-256:
+
+* primitives, tuples/lists, dicts, and sets serialize structurally
+  (dict items and set members are sorted by their canonical encodings,
+  so insertion order and per-process string hashing never leak in);
+* enums serialize as class + member name;
+* dataclasses serialize as class + field items;
+* objects exposing a ``cache_token`` string (address streams, branch
+  behaviours, partitioners) serialize from that token alone, so mutable
+  cursor/iteration state never perturbs a key;
+* :class:`~repro.ir.program.ILProgram` serializes through a dedicated
+  structural walk covering block layout, successor edges and their
+  probabilities, profile counts, and every instruction *including* its
+  trace annotations (``mem_stream`` / ``branch_model``), which the
+  textual listing omits.
+
+Unsupported types raise :class:`TypeError` — a silent fallback would
+turn into silently colliding (or never-hitting) cache keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Any
+
+from repro.core.registers import RegisterAssignment
+from repro.ir.program import ILProgram
+from repro.ir.values import ILValue
+from repro.isa.registers import Register, all_registers
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical encoding."""
+    return hashlib.sha256(_canon(obj).encode("utf-8")).hexdigest()
+
+
+def _canon(obj: Any) -> str:
+    if obj is None:
+        return "N"
+    if obj is True:
+        return "B1"
+    if obj is False:
+        return "B0"
+    if isinstance(obj, int):
+        return f"I{obj}"
+    if isinstance(obj, float):
+        return f"F{obj.hex()}"
+    if isinstance(obj, str):
+        return f"S{len(obj)}:{obj}"
+    if isinstance(obj, bytes):
+        return f"Y{obj.hex()}"
+    if isinstance(obj, enum.Enum):
+        return f"E{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, Register):
+        return f"R{obj.name}"
+    if isinstance(obj, ILValue):
+        return (
+            f"V({obj.vid},{obj.name},{obj.rclass.name},"
+            f"{int(obj.is_stack_pointer)}{int(obj.is_global_pointer)})"
+        )
+    if isinstance(obj, ILProgram):
+        return _canon_program(obj)
+    if isinstance(obj, RegisterAssignment):
+        ownership = ";".join(
+            f"{reg.name}>{','.join(map(str, sorted(obj.clusters_of(reg))))}"
+            for reg in all_registers()
+        )
+        return f"A{obj.num_clusters}[{ownership}]"
+    token = getattr(obj, "cache_token", None)
+    if isinstance(token, str):
+        return f"K{token}"
+    if isinstance(obj, (tuple, list)):
+        return "T(" + ",".join(_canon(item) for item in obj) + ")"
+    if isinstance(obj, (set, frozenset)):
+        return "X{" + ",".join(sorted(_canon(item) for item in obj)) + "}"
+    if isinstance(obj, dict):
+        items = sorted((_canon(k), _canon(v)) for k, v in obj.items())
+        return "D{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={_canon(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"C{type(obj).__name__}{{{fields}}}"
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!r}: add a cache_token "
+        "property or an explicit handler (a silent fallback would corrupt "
+        "cache keys)"
+    )
+
+
+def _canon_program(program: ILProgram) -> str:
+    parts = [f"P{program.name}"]
+    for value in program.values:
+        parts.append(_canon(value))
+    for block in program.cfg.blocks():
+        edges = ",".join(
+            f"{label}@{block.edge_probs.get(label, 0.0).hex()}"
+            for label in block.succ_labels
+        )
+        parts.append(f"L{block.label}#{block.profile_count}[{edges}]")
+        for instr in block.instructions:
+            parts.append(
+                f"{instr.opcode.name}"
+                f"({','.join(_canon(src) for src in instr.srcs)})"
+                f">{_canon(instr.dest)}"
+                f"#{instr.imm}@{instr.target}"
+                f"${instr.mem_stream}${instr.branch_model}"
+            )
+    return "|".join(parts)

@@ -1,0 +1,193 @@
+"""Process-pool parallel sweep engine (the ``--jobs N`` machinery).
+
+The Section 4 methodology is independent across benchmarks *and* across
+the three runs per benchmark, so a Table 2 sweep decomposes into
+``len(benchmarks) * 3`` work units.  Each unit is re-derived inside the
+worker from ``(benchmark name, part, options)`` — every stage is seeded
+and deterministic, so results are bit-identical to the serial path, and
+nothing but small inputs and final results crosses the process boundary.
+
+Design notes:
+
+* Workers fork from the parent (where the platform supports it), so
+  monkeypatched registries and installed fault injection are inherited —
+  PR 1's robustness matrix exercises the pool exactly like the serial
+  path, and a worker raising :class:`~repro.errors.ReproError` degrades
+  into the same :class:`~repro.experiments.harness.BenchmarkFailure`
+  record a serial sweep produces.
+* Failures are converted to :class:`BenchmarkFailure` *inside* the
+  worker: exception subclasses with mandatory context kwargs do not
+  survive pickling faithfully, and the sweep needs the context intact.
+* Each worker process holds one process-local
+  :class:`~repro.perf.cache.ArtifactCache` (optionally disk-backed, in
+  which case all workers share the directory); per-task counter deltas
+  are shipped back and merged into the parent's cache stats so hit/miss
+  accounting stays correct under ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.harness import (
+    PARTS,
+    BenchmarkEvaluation,
+    BenchmarkFailure,
+    EvaluationOptions,
+    PartOutcome,
+    assemble_evaluation,
+    evaluate_workload,
+    evaluate_workload_part,
+)
+from repro.perf.cache import ArtifactCache, CacheStats
+
+#: The forked worker's process-local artifact cache.
+_WORKER_CACHE: Optional[ArtifactCache] = None
+
+
+def resolve_jobs(jobs: int) -> int:
+    """``0`` (or negative) means one worker per CPU core."""
+    if jobs >= 1:
+        return jobs
+    return os.cpu_count() or 1
+
+
+def _init_worker(cache_dir) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = ArtifactCache(cache_dir)
+
+
+def _worker_cache() -> ArtifactCache:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = ArtifactCache()
+    return _WORKER_CACHE
+
+
+def _pool(jobs: int, cache_dir=None) -> ProcessPoolExecutor:
+    """A process pool that forks where possible (state inheritance)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(cache_dir,),
+    )
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: int = 1,
+    cache_dir=None,
+) -> list[Any]:
+    """Ordered map over ``items``, serial for ``jobs == 1`` or short input.
+
+    ``fn`` must be a module-level callable (workers import it by name).
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with _pool(jobs, cache_dir) as pool:
+        return list(pool.map(fn, items))
+
+
+# ------------------------------------------------------------- Table 2 sweep
+def _sweep_task(item: tuple[str, str, EvaluationOptions]):
+    """One (benchmark, part) unit, run inside a worker process.
+
+    Returns ``(name, part, outcome_or_failure, stats_delta)``; a
+    :class:`ReproError` anywhere in build/compile/trace/simulate becomes
+    a :class:`BenchmarkFailure` here, in the worker, so context survives
+    the trip home.
+    """
+    from repro.workloads.spec92 import SPEC92
+
+    name, part, options = item
+    cache = _worker_cache()
+    baseline = cache.stats.snapshot()
+    try:
+        workload = SPEC92[name]()
+        outcome = evaluate_workload_part(workload, part, options, cache)
+        return name, part, outcome, cache.stats.delta(baseline)
+    except ReproError as error:
+        failure = BenchmarkFailure.from_error(name, error)
+        return name, part, failure, cache.stats.delta(baseline)
+
+
+def run_table2_parallel(
+    names: Sequence[str], options: EvaluationOptions
+) -> tuple[dict[str, BenchmarkEvaluation], list[BenchmarkFailure]]:
+    """Fan a Table 2 sweep out to worker processes.
+
+    Returns ``(evaluations by name, failures)`` with exactly the rows and
+    failure records the serial sweep would produce: a benchmark with any
+    failed part yields one failure (the first in part order — the order
+    the serial methodology hits them) and no row.
+    """
+    jobs = resolve_jobs(options.jobs)
+    cache = options.cache
+    cache_dir = cache.cache_dir if cache is not None else None
+    # Workers get a self-contained serial option set; the parent-side
+    # cache object is not shipped (each worker holds its own tier).
+    worker_options = replace(options, jobs=1, cache=None)
+    items = [(name, part, worker_options) for name in names for part in PARTS]
+
+    results: dict[tuple[str, str], Any] = {}
+    with _pool(jobs, cache_dir) as pool:
+        for name, part, payload, stats_delta in pool.map(_sweep_task, items):
+            results[(name, part)] = payload
+            if cache is not None:
+                cache.stats.merge(stats_delta)
+
+    evaluations: dict[str, BenchmarkEvaluation] = {}
+    failures: list[BenchmarkFailure] = []
+    for name in names:
+        payloads = [results[(name, part)] for part in PARTS]
+        failed = [p for p in payloads if isinstance(p, BenchmarkFailure)]
+        if failed:
+            failures.append(failed[0])
+            continue
+        outcomes: list[PartOutcome] = payloads
+        evaluations[name] = assemble_evaluation(name, outcomes)
+    return evaluations, failures
+
+
+# --------------------------------------------------------- generic eval fan
+def _evaluate_task(item: tuple[Any, EvaluationOptions]) -> BenchmarkEvaluation:
+    workload, options = item
+    return evaluate_workload(workload, options, cache=_worker_cache())
+
+
+def evaluate_many(
+    tasks: Sequence[tuple[Any, EvaluationOptions]],
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+) -> list[BenchmarkEvaluation]:
+    """Evaluate ``(workload, options)`` pairs, optionally across workers.
+
+    Used by the ablation and Figure 6 sweeps, whose points are fully
+    formed workloads rather than registry names.  Errors propagate (these
+    sweeps have no per-row degradation contract).
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [
+            evaluate_workload(workload, options, cache=cache)
+            for workload, options in tasks
+        ]
+    cache_dir = cache.cache_dir if cache is not None else None
+    items = [
+        (workload, replace(options, jobs=1, cache=None))
+        for workload, options in tasks
+    ]
+    with _pool(jobs, cache_dir) as pool:
+        return list(pool.map(_evaluate_task, items))

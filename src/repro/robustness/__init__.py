@@ -32,6 +32,7 @@ from repro.robustness.faultinject import (
 from repro.robustness.invariants import InvariantChecker
 from repro.robustness.validate import (
     validate_assignment,
+    validate_trace_length,
     validate_config,
     validate_machine_program,
     validate_run,
@@ -55,4 +56,5 @@ __all__ = [
     "validate_machine_program",
     "validate_run",
     "validate_trace",
+    "validate_trace_length",
 ]

@@ -25,6 +25,31 @@ from repro.uarch.config import ProcessorConfig
 from repro.workloads.trace import DynamicInstruction
 
 
+def validate_trace_length(trace_length: int, benchmark: Optional[str] = None) -> None:
+    """Reject non-positive (or non-integer) requested trace lengths.
+
+    A zero-length trace produces a simulation that retires zero
+    instructions in zero cycles, which later divides by zero inside
+    ``speedup_percent`` — reject the request up front instead.
+
+    Raises:
+        ConfigError: when ``trace_length`` is not a positive integer.
+    """
+    if isinstance(trace_length, bool) or not isinstance(trace_length, int):
+        raise ConfigError(
+            f"trace_length must be an integer, got {type(trace_length).__name__}",
+            benchmark=benchmark,
+            trace_length=repr(trace_length),
+        )
+    if trace_length <= 0:
+        raise ConfigError(
+            f"trace_length must be >= 1, got {trace_length} (an empty trace "
+            "simulates zero cycles and makes every speedup undefined)",
+            benchmark=benchmark,
+            trace_length=trace_length,
+        )
+
+
 def validate_config(config: ProcessorConfig) -> None:
     """Reject inconsistent machine configurations.
 

@@ -17,12 +17,24 @@ import random
 class AddressStream(abc.ABC):
     """A source of effective addresses for one static memory instruction."""
 
+    #: Constructor parameters that define the stream's behaviour.  The
+    #: artifact cache keys off these alone: a trace depends only on the
+    #: stream's configuration, never on its mutable cursor (``reset`` runs
+    #: at the start of every generation).
+    _token_fields: tuple[str, ...] = ()
+
     @abc.abstractmethod
     def next_address(self, rng: random.Random) -> int:
         """The next effective address (8-byte aligned)."""
 
     def reset(self) -> None:
         """Return to the initial state (new trace)."""
+
+    @property
+    def cache_token(self) -> str:
+        """Deterministic identity for artifact-cache keys."""
+        params = ",".join(f"{n}={getattr(self, n)}" for n in self._token_fields)
+        return f"{type(self).__name__}({params})"
 
 
 class StridedStream(AddressStream):
@@ -31,6 +43,8 @@ class StridedStream(AddressStream):
     The vector loops of tomcatv/su2cor walk multi-megabyte arrays this way;
     with ``length`` far above the cache size every line eventually misses.
     """
+
+    _token_fields = ('base', 'stride', 'length',)
 
     def __init__(self, base: int, stride: int = 8, length: int = 1 << 20) -> None:
         if stride == 0:
@@ -52,6 +66,8 @@ class StridedStream(AddressStream):
 class RandomStream(AddressStream):
     """Uniformly random accesses within a region (hash tables, compress)."""
 
+    _token_fields = ('base', 'size',)
+
     def __init__(self, base: int, size: int) -> None:
         self.base = base
         self.size = size
@@ -63,6 +79,8 @@ class RandomStream(AddressStream):
 class HotColdStream(AddressStream):
     """A small hot region hit with probability ``hot_fraction``, else a
     large cold region — the locality mixture of pointer-rich integer code."""
+
+    _token_fields = ('base', 'hot_size', 'cold_size', 'hot_fraction',)
 
     def __init__(
         self,
@@ -85,6 +103,8 @@ class HotColdStream(AddressStream):
 class FixedStream(AddressStream):
     """A single address (scalar globals, spill slots)."""
 
+    _token_fields = ('address',)
+
     def __init__(self, address: int) -> None:
         self.address = address & ~0x7
 
@@ -94,6 +114,8 @@ class FixedStream(AddressStream):
 
 class StackStream(AddressStream):
     """Random access within a small stack frame (very high locality)."""
+
+    _token_fields = ('base', 'frame_size',)
 
     def __init__(self, base: int, frame_size: int = 512) -> None:
         self.base = base

@@ -18,6 +18,12 @@ import random
 class BranchBehavior(abc.ABC):
     """Decides the direction of one static conditional branch."""
 
+    #: Constructor parameters that define the behaviour.  The artifact
+    #: cache keys off these alone: a trace depends only on the model's
+    #: configuration, never on its mutable state (``reset`` runs at the
+    #: start of every generation).
+    _token_fields: tuple[str, ...] = ()
+
     @abc.abstractmethod
     def next_taken(self, rng: random.Random) -> bool:
         """Direction of the next dynamic execution."""
@@ -25,9 +31,17 @@ class BranchBehavior(abc.ABC):
     def reset(self) -> None:
         """Return to the initial state (new trace)."""
 
+    @property
+    def cache_token(self) -> str:
+        """Deterministic identity for artifact-cache keys."""
+        params = ",".join(f"{n}={getattr(self, n)}" for n in self._token_fields)
+        return f"{type(self).__name__}({params})"
+
 
 class BernoulliBranch(BranchBehavior):
     """Independent coin flip: taken with probability ``p_taken``."""
+
+    _token_fields = ('p_taken',)
 
     def __init__(self, p_taken: float) -> None:
         self.p_taken = p_taken
@@ -44,6 +58,8 @@ class LoopBranch(BranchBehavior):
     the global history covers the period).  ``jitter`` adds +/- variation
     to successive trip counts.
     """
+
+    _token_fields = ('trip_count', 'jitter',)
 
     def __init__(self, trip_count: int, jitter: int = 0) -> None:
         if trip_count < 1:
@@ -71,6 +87,8 @@ class LoopBranch(BranchBehavior):
 class PatternBranch(BranchBehavior):
     """A repeating direction pattern like ``"TTNT"`` (correlated branches)."""
 
+    _token_fields = ('pattern',)
+
     def __init__(self, pattern: str) -> None:
         if not pattern or set(pattern) - {"T", "N"}:
             raise ValueError("pattern must be a non-empty string of T/N")
@@ -89,6 +107,8 @@ class PatternBranch(BranchBehavior):
 class MarkovBranch(BranchBehavior):
     """Two-state Markov chain: repeats its last direction with
     probability ``p_repeat`` (bursty, partially predictable)."""
+
+    _token_fields = ('p_repeat', 'start_taken',)
 
     def __init__(self, p_repeat: float = 0.8, start_taken: bool = True) -> None:
         self.p_repeat = p_repeat

@@ -1,0 +1,49 @@
+"""The ``repro bench`` harness writes a well-formed BENCH_table2.json."""
+
+import json
+
+from repro.perf.bench import QUICK_TRACE_LENGTH, SCHEMA_VERSION, run_bench
+
+
+class TestBench:
+    def test_quick_bench_report(self, tmp_path):
+        output = tmp_path / "BENCH_table2.json"
+        report = run_bench(
+            benchmarks=["ora"],
+            quick=True,
+            jobs=2,
+            output=output,
+            cache_dir=tmp_path / "cache",
+        )
+        assert report.identical is True
+        assert report.trace_length == QUICK_TRACE_LENGTH
+        assert report.jobs == 2
+
+        payload = json.loads(output.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["benchmarks"] == ["ora"]
+        assert payload["identical"] is True
+        assert payload["divergences"] == []
+        assert set(payload["timings_s"]) == {
+            "serial", "parallel", "cache-cold", "cache-warm",
+        }
+        assert all(t > 0 for t in payload["timings_s"].values())
+        (row,) = payload["rows"]
+        assert row["benchmark"] == "ora"
+        assert set(row["cycles"]) == {"single", "dual_none", "dual_local"}
+        # The warm sweep must have run entirely from the cache.
+        warm = payload["cache_stats"]["cache-warm"]
+        assert warm["misses"] == 0 and warm["hits"] > 0
+        assert payload["cpu_count"] >= 1
+        assert payload["python"]
+
+    def test_no_output_path_skips_writing(self, tmp_path):
+        report = run_bench(
+            benchmarks=["ora"],
+            trace_length=800,
+            jobs=2,
+            output=None,
+            cache_dir=tmp_path,
+        )
+        assert report.identical is True
+        assert report.format().startswith("bench: 1 benchmarks")

@@ -3,11 +3,15 @@
 Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 
     python -m repro table2 [--trace-length N] [--benchmarks a b ...] [--jobs N]
+                           [--retries N] [--resume DIR]
     python -m repro scenarios
-    python -m repro figure6
+    python -m repro figure6 [--sweep] [--jobs N] [--resume DIR]
     python -m repro cycle-time [--trace-length N] [--jobs N]
     python -m repro ablations [--benchmark NAME] [--trace-length N] [--jobs N]
+                              [--retries N] [--resume DIR]
     python -m repro bench [--quick] [--jobs N] [--output BENCH_table2.json]
+    python -m repro replay BUNDLE.json
+    python -m repro chaos [--quick] [--seed N] [--rounds N] [--run-dir DIR]
 """
 
 from __future__ import annotations
@@ -31,6 +35,23 @@ def _make_cache(args: argparse.Namespace):
     return ArtifactCache(cache_dir)
 
 
+def _make_retry(args: argparse.Namespace):
+    """The retry policy requested by --retries (or None for one attempt)."""
+    retries = getattr(args, "retries", 1)
+    if retries is None or retries <= 1:
+        return None
+    from repro.robustness.retry import RetryPolicy
+
+    return RetryPolicy(max_attempts=retries)
+
+
+def _make_journal(args: argparse.Namespace):
+    """The run journal requested by --resume DIR (or None)."""
+    from repro.robustness.journal import open_journal
+
+    return open_journal(getattr(args, "resume", None))
+
+
 def _evaluation_options(args: argparse.Namespace):
     from repro.experiments.harness import EvaluationOptions
 
@@ -40,6 +61,7 @@ def _evaluation_options(args: argparse.Namespace):
         cycle_budget=getattr(args, "cycle_budget", 0),
         jobs=getattr(args, "jobs", 1),
         cache=_make_cache(args),
+        retry=_make_retry(args),
     )
 
 
@@ -52,7 +74,12 @@ def _cmd_table2(args: argparse.Namespace) -> None:
     from repro.experiments.table2 import format_table2, run_table2
 
     options = _evaluation_options(args)
-    result = run_table2(args.benchmarks or None, options)
+    journal = _make_journal(args)
+    try:
+        result = run_table2(args.benchmarks or None, options, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
     print(format_table2(result, detailed=args.detailed))
     _report_cache(options)
     if result.failures:
@@ -71,10 +98,29 @@ def _cmd_scenarios(_args: argparse.Namespace) -> None:
         print()
 
 
-def _cmd_figure6(_args: argparse.Namespace) -> None:
+def _cmd_figure6(args: argparse.Namespace) -> None:
     from repro.experiments.figure6 import main as figure6_main
 
-    figure6_main()
+    if not getattr(args, "sweep", False):
+        figure6_main()
+        return
+    from repro.experiments.figure6 import run_figure6_sweep
+
+    journal = _make_journal(args)
+    try:
+        results = run_figure6_sweep(
+            jobs=getattr(args, "jobs", 1), journal=journal
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    print("Figure 6 walk-through across imbalance thresholds")
+    for threshold, result in results:
+        print(
+            f"  threshold={threshold}: blocks={result.block_order} "
+            f"order={result.assignment_order} "
+            f"matches_paper={result.matches_paper}"
+        )
 
 
 def _cmd_cycle_time(args: argparse.Namespace) -> None:
@@ -118,12 +164,23 @@ def _cmd_ablations(args: argparse.Namespace) -> None:
         "scope": run_imbalance_scope_ablation,
     }
     selected = args.sweeps or list(sweeps)
-    for name in selected:
-        result = sweeps[name](
-            build, trace_length=args.trace_length, jobs=getattr(args, "jobs", 1)
-        )
-        print(result.format())
-        print()
+    journal = _make_journal(args)
+    retry = _make_retry(args)
+    try:
+        for name in selected:
+            kwargs = dict(
+                trace_length=args.trace_length,
+                jobs=getattr(args, "jobs", 1),
+                journal=journal,
+            )
+            if name != "queue":  # the queue sweep is raw simulate(), no retry
+                kwargs["retry"] = retry
+            result = sweeps[name](build, **kwargs)
+            print(result.format())
+            print()
+    finally:
+        if journal is not None:
+            journal.close()
 
 
 def _add_perf_flags(
@@ -150,6 +207,25 @@ def _add_perf_flags(
             metavar="DIR",
             help="artifact cache directory (implies --cache)",
         )
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="attempts per evaluation run before a row degrades "
+        "(1 = no retries); backoff is seeded and deterministic",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="run directory with the append-only journal: completed rows "
+        "are reused (bit-identically) and new rows journaled; pass the "
+        "same DIR again after an interrupt to resume",
+    )
 
 
 def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
@@ -181,12 +257,25 @@ def build_parser() -> argparse.ArgumentParser:
     t2.add_argument("--detailed", action="store_true", default=True)
     _add_robustness_flags(t2)
     _add_perf_flags(t2)
+    _add_resilience_flags(t2)
     t2.set_defaults(func=_cmd_table2)
 
     sc = sub.add_parser("scenarios", help="Figures 2-5 execution timelines")
     sc.set_defaults(func=_cmd_scenarios)
 
     f6 = sub.add_parser("figure6", help="the Figure 6 worked example")
+    f6.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the walk-through across imbalance thresholds",
+    )
+    f6.add_argument("--jobs", type=int, default=1, metavar="N")
+    f6.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="journal directory for the threshold sweep (see table2)",
+    )
     f6.set_defaults(func=_cmd_figure6)
 
     ct = sub.add_parser("cycle-time", help="the Section 4.2/5 analysis")
@@ -209,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
     )
     _add_perf_flags(ab, cache_flags=False)
+    _add_resilience_flags(ab)
     ab.set_defaults(func=_cmd_ablations)
 
     rp = sub.add_parser("report", help="regenerate everything into REPORT.md")
@@ -221,6 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ra.add_argument("--phase-length", type=int, default=2000)
     _add_perf_flags(ra, cache_flags=False)
+    ra.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="journal directory for the three machine runs (see table2)",
+    )
     ra.set_defaults(func=_cmd_reassignment)
 
     be = sub.add_parser(
@@ -244,6 +340,37 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--output", default="BENCH_table2.json")
     be.add_argument("--cache-dir", default=None, metavar="DIR")
     be.set_defaults(func=_cmd_bench)
+
+    rep = sub.add_parser(
+        "replay",
+        help="re-run a failure bundle and check it reproduces "
+        "(exit 0 = same typed error, 1 = different behaviour)",
+    )
+    rep.add_argument("bundle", help="path to a bundles/*.json replay bundle")
+    rep.set_defaults(func=_cmd_replay)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection soak over the sweep orchestration "
+        "(exit 0 = healthy, 5 = contract violations)",
+    )
+    ch.add_argument("--seed", type=int, default=0)
+    ch.add_argument("--rounds", type=int, default=3)
+    ch.add_argument("--benchmarks", nargs="*", default=None)
+    ch.add_argument("--trace-length", type=int, default=1000)
+    ch.add_argument("--jobs", type=int, default=1, metavar="N")
+    ch.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI preset: 2 rounds, one benchmark, short traces",
+    )
+    ch.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="keep journals, bundles, and health.json here for post-mortems",
+    )
+    ch.set_defaults(func=_cmd_chaos)
     return parser
 
 
@@ -253,11 +380,50 @@ def _cmd_reassignment(args: argparse.Namespace) -> None:
         run_reassignment_demo,
     )
 
-    print(
-        format_reassignment_result(
-            run_reassignment_demo(args.phase_length, jobs=getattr(args, "jobs", 1))
+    journal = _make_journal(args)
+    try:
+        result = run_reassignment_demo(
+            args.phase_length, jobs=getattr(args, "jobs", 1), journal=journal
         )
-    )
+    finally:
+        if journal is not None:
+            journal.close()
+    print(format_reassignment_result(result))
+
+
+def _cmd_replay(args: argparse.Namespace) -> None:
+    from repro.robustness.replay import replay_file
+
+    result = replay_file(args.bundle)
+    print(result.format())
+    if not result.reproduced:
+        raise SystemExit(1)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    from repro.robustness.chaos import ChaosConfig, run_chaos
+
+    if args.quick:
+        config = ChaosConfig(
+            seed=args.seed,
+            rounds=min(args.rounds, 2),
+            benchmarks=("compress",),
+            trace_length=800,
+            jobs=args.jobs,
+        )
+    else:
+        config = ChaosConfig(
+            seed=args.seed,
+            rounds=args.rounds,
+            benchmarks=tuple(args.benchmarks or ("compress", "ora")),
+            trace_length=args.trace_length,
+            jobs=args.jobs,
+        )
+    report = run_chaos(config, run_dir=args.run_dir)
+    print(report.format())
+    if args.run_dir:
+        print(f"health report: {args.run_dir}/health.json", file=sys.stderr)
+    raise SystemExit(report.exit_code)
 
 
 def _cmd_bench(args: argparse.Namespace) -> None:

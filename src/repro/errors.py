@@ -144,6 +144,17 @@ class InvariantViolation(SimulationError):
     exit_code = 3
 
 
+class SweepInterrupted(ReproError):
+    """A sweep was stopped by SIGINT/SIGTERM after an orderly shutdown.
+
+    Raised by the sweep drivers once in-flight work is drained, pending
+    work is cancelled, and every completed row is journaled — the exit
+    code (130, the shell's SIGINT convention) tells wrappers the run is
+    resumable with ``--resume`` rather than failed."""
+
+    exit_code = 130
+
+
 __all__ = [
     "ReproError",
     "ConfigError",
@@ -152,4 +163,5 @@ __all__ = [
     "SimulationError",
     "WatchdogTimeout",
     "InvariantViolation",
+    "SweepInterrupted",
 ]

@@ -11,7 +11,7 @@ choice, and the architectural-register-to-cluster map.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.partition import (
     AffinityPartitioner,
@@ -21,7 +21,7 @@ from repro.core.partition import (
     RoundRobinPartitioner,
 )
 from repro.core.registers import RegisterAssignment
-from repro.experiments.harness import EvaluationOptions, evaluate_workload
+from repro.experiments.harness import BenchmarkEvaluation, EvaluationOptions
 from repro.uarch.config import (
     dual_cluster_2way_config,
     dual_cluster_config,
@@ -29,6 +29,10 @@ from repro.uarch.config import (
     with_buffer_entries,
 )
 from repro.workloads.generator import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.journal import RunJournal
+    from repro.robustness.retry import RetryPolicy
 
 
 @dataclass
@@ -58,8 +62,7 @@ class AblationResult:
         return "\n".join(lines)
 
 
-def _point(label: str, workload: Workload, options: EvaluationOptions) -> AblationPoint:
-    ev = evaluate_workload(workload, options)
+def _point_from(label: str, ev: BenchmarkEvaluation) -> AblationPoint:
     return AblationPoint(
         label=label,
         pct_none=ev.pct_none,
@@ -70,38 +73,73 @@ def _point(label: str, workload: Workload, options: EvaluationOptions) -> Ablati
 
 
 def _points(
-    tasks: list[tuple[str, Workload, EvaluationOptions]], jobs: int
+    tasks: list[tuple[str, Workload, EvaluationOptions]],
+    jobs: int,
+    journal: Optional["RunJournal"] = None,
+    sweep: str = "ablation",
 ) -> list[AblationPoint]:
     """Evaluate labelled sweep points, fanning out to workers for jobs != 1.
 
     Same bit-identity contract as the Table 2 sweep: every stage is
-    seeded, so the parallel path returns exactly the serial points.
+    seeded, so the parallel path returns exactly the serial points — and
+    a journaled point reused by ``--resume`` *is* the original pickled
+    evaluation, so resumed tables match uninterrupted ones bit for bit.
+    Each point journals under ``{sweep}:{label}`` keyed by its own
+    options fingerprint (ablation points deliberately differ in options,
+    so a changed sweep parameter invalidates exactly the changed rows).
     """
-    if jobs == 1:
-        return [_point(label, workload, options) for label, workload, options in tasks]
     from repro.perf.parallel import evaluate_many
 
-    evaluations = evaluate_many(
-        [(workload, options) for _, workload, options in tasks], jobs=jobs
-    )
-    return [
-        AblationPoint(
-            label=label,
-            pct_none=ev.pct_none,
-            pct_local=ev.pct_local,
-            dual_fraction=ev.dual_local.stats.dual_fraction,
-            replays=ev.dual_local.stats.replay_exceptions,
+    fingerprints: list[str] = []
+    evaluations: list[Optional[BenchmarkEvaluation]] = [None] * len(tasks)
+    pending = list(range(len(tasks)))
+    if journal is not None:
+        from repro.robustness.journal import options_fingerprint
+
+        fingerprints = [options_fingerprint(options) for _, _, options in tasks]
+        pending = []
+        for i, (label, _, _) in enumerate(tasks):
+            reused = journal.load_artifact(
+                journal.completed(f"{sweep}:{label}", fingerprints[i])
+            )
+            if isinstance(reused, BenchmarkEvaluation):
+                evaluations[i] = reused
+            else:
+                pending.append(i)
+
+    def on_result(j: int, ev: BenchmarkEvaluation) -> None:
+        i = pending[j]
+        evaluations[i] = ev
+        if journal is not None:
+            journal.record_completed(
+                f"{sweep}:{tasks[i][0]}", fingerprints[i], artifact_value=ev
+            )
+
+    if pending:
+        evaluate_many(
+            [(tasks[i][1], tasks[i][2]) for i in pending],
+            jobs=jobs,
+            on_result=on_result,
         )
-        for (label, _, _), ev in zip(tasks, evaluations)
+    return [
+        _point_from(label, evaluations[i]) for i, (label, _, _) in enumerate(tasks)
     ]
 
 
 def run_issue_width_ablation(
-    build: Callable[[], Workload], trace_length: int = 30_000, jobs: int = 1
+    build: Callable[[], Workload],
+    trace_length: int = 30_000,
+    jobs: int = 1,
+    journal: Optional["RunJournal"] = None,
+    retry: Optional["RetryPolicy"] = None,
 ) -> AblationResult:
     """E10: 8-way single vs 2x4 dual, and 4-way single vs 2x2 dual."""
     tasks = [
-        ("8-way vs 2x4-way", build(), EvaluationOptions(trace_length=trace_length)),
+        (
+            "8-way vs 2x4-way",
+            build(),
+            EvaluationOptions(trace_length=trace_length, retry=retry),
+        ),
         (
             "4-way vs 2x2-way",
             build(),
@@ -109,11 +147,13 @@ def run_issue_width_ablation(
                 trace_length=trace_length,
                 single_config=single_cluster_4way_config(),
                 dual_config=dual_cluster_2way_config(),
+                retry=retry,
             ),
         ),
     ]
     return AblationResult(
-        "issue width (single vs clustered pair)", _points(tasks, jobs)
+        "issue width (single vs clustered pair)",
+        _points(tasks, jobs, journal, sweep="issue-width"),
     )
 
 
@@ -122,6 +162,8 @@ def run_threshold_ablation(
     thresholds: tuple[int, ...] = (0, 1, 2, 4, 8, 16),
     trace_length: int = 30_000,
     jobs: int = 1,
+    journal: Optional["RunJournal"] = None,
+    retry: Optional["RetryPolicy"] = None,
 ) -> AblationResult:
     """Sweep the local scheduler's compile-time imbalance constant."""
     tasks = [
@@ -131,12 +173,14 @@ def run_threshold_ablation(
             EvaluationOptions(
                 trace_length=trace_length,
                 partitioner=LocalScheduler(imbalance_threshold=threshold),
+                retry=retry,
             ),
         )
         for threshold in thresholds
     ]
     return AblationResult(
-        "local-scheduler imbalance threshold", _points(tasks, jobs)
+        "local-scheduler imbalance threshold",
+        _points(tasks, jobs, journal, sweep="threshold"),
     )
 
 
@@ -145,6 +189,8 @@ def run_buffer_depth_ablation(
     depths: tuple[int, ...] = (2, 4, 8, 16, 32),
     trace_length: int = 30_000,
     jobs: int = 1,
+    journal: Optional["RunJournal"] = None,
+    retry: Optional["RetryPolicy"] = None,
 ) -> AblationResult:
     """Sweep the operand/result transfer-buffer depth (paper: 8 + 8)."""
     tasks = [
@@ -154,15 +200,23 @@ def run_buffer_depth_ablation(
             EvaluationOptions(
                 trace_length=trace_length,
                 dual_config=with_buffer_entries(dual_cluster_config(), depth),
+                retry=retry,
             ),
         )
         for depth in depths
     ]
-    return AblationResult("transfer-buffer entries per cluster", _points(tasks, jobs))
+    return AblationResult(
+        "transfer-buffer entries per cluster",
+        _points(tasks, jobs, journal, sweep="buffer-depth"),
+    )
 
 
 def run_partitioner_ablation(
-    build: Callable[[], Workload], trace_length: int = 30_000, jobs: int = 1
+    build: Callable[[], Workload],
+    trace_length: int = 30_000,
+    jobs: int = 1,
+    journal: Optional["RunJournal"] = None,
+    retry: Optional["RetryPolicy"] = None,
 ) -> AblationResult:
     """Local scheduler vs balance-blind baselines."""
     partitioners: list[Partitioner] = [
@@ -175,13 +229,15 @@ def run_partitioner_ablation(
         (
             partitioner.name,
             build(),
-            EvaluationOptions(trace_length=trace_length, partitioner=partitioner),
+            EvaluationOptions(
+                trace_length=trace_length, partitioner=partitioner, retry=retry
+            ),
         )
         for partitioner in partitioners
     ]
     return AblationResult(
         "partitioner (column 'local %' is the partitioned binary)",
-        _points(tasks, jobs),
+        _points(tasks, jobs, journal, sweep="partitioner"),
     )
 
 
@@ -211,6 +267,7 @@ def run_queue_size_ablation(
     queue_sizes: tuple[int, ...] = (32, 64, 128, 256),
     trace_length: int = 30_000,
     jobs: int = 1,
+    journal: Optional["RunJournal"] = None,
 ) -> "QueueSizeResult":
     """The paper's explanation for the compress anomaly, isolated.
 
@@ -231,10 +288,36 @@ def run_queue_size_ablation(
         native.machine, workload.streams, workload.behaviors, seed=7
     ).generate(trace_length)
 
+    points: dict[int, QueueSizePoint] = {}
+    pending = list(queue_sizes)
+    fingerprints: dict[int, str] = {}
+    if journal is not None:
+        from repro.perf.fingerprint import fingerprint
+
+        fingerprints = {
+            n: fingerprint(("queue-size/v1", workload.name, trace_length, n))
+            for n in queue_sizes
+        }
+        pending = []
+        for n in queue_sizes:
+            reused = journal.load_artifact(
+                journal.completed(f"queue-size:entries={n}", fingerprints[n])
+            )
+            if isinstance(reused, QueueSizePoint):
+                points[n] = reused
+            else:
+                pending.append(n)
+
     rows = parallel_map(
-        _queue_size_task, [(entries, trace) for entries in queue_sizes], jobs=jobs
+        _queue_size_task, [(entries, trace) for entries in pending], jobs=jobs
     )
-    return QueueSizeResult(workload.name, rows)
+    for n, row in zip(pending, rows):
+        points[n] = row
+        if journal is not None:
+            journal.record_completed(
+                f"queue-size:entries={n}", fingerprints[n], artifact_value=row
+            )
+    return QueueSizeResult(workload.name, [points[n] for n in queue_sizes])
 
 
 @dataclass
@@ -265,7 +348,11 @@ class QueueSizeResult:
 
 
 def run_imbalance_scope_ablation(
-    build: Callable[[], Workload], trace_length: int = 30_000, jobs: int = 1
+    build: Callable[[], Workload],
+    trace_length: int = 30_000,
+    jobs: int = 1,
+    journal: Optional["RunJournal"] = None,
+    retry: Optional["RetryPolicy"] = None,
 ) -> AblationResult:
     """Whole-block vs prefix-only imbalance estimation in the local
     scheduler (the interpretation choice documented in
@@ -277,11 +364,15 @@ def run_imbalance_scope_ablation(
             EvaluationOptions(
                 trace_length=trace_length,
                 partitioner=LocalScheduler(imbalance_scope=scope),
+                retry=retry,
             ),
         )
         for scope in ("block", "prefix")
     ]
-    return AblationResult("local-scheduler imbalance scope", _points(tasks, jobs))
+    return AblationResult(
+        "local-scheduler imbalance scope",
+        _points(tasks, jobs, journal, sweep="imbalance-scope"),
+    )
 
 
 def run_unroll_ablation(
@@ -289,6 +380,8 @@ def run_unroll_ablation(
     factors: tuple[int, ...] = (1, 2, 4),
     trace_length: int = 30_000,
     jobs: int = 1,
+    journal: Optional["RunJournal"] = None,
+    retry: Optional["RetryPolicy"] = None,
 ) -> AblationResult:
     """Section 6 future work: unroll inner loops before partitioning.
 
@@ -316,11 +409,12 @@ def run_unroll_ablation(
             (
                 f"unroll x{factor}",
                 workload,
-                EvaluationOptions(trace_length=trace_length),
+                EvaluationOptions(trace_length=trace_length, retry=retry),
             )
         )
     return AblationResult(
-        "loop unrolling factor (Section 6 future work)", _points(tasks, jobs)
+        "loop unrolling factor (Section 6 future work)",
+        _points(tasks, jobs, journal, sweep="unroll"),
     )
 
 
@@ -329,6 +423,8 @@ def run_global_widening_ablation(
     extra_global_registers: tuple[int, ...] = (0, 2, 4),
     trace_length: int = 30_000,
     jobs: int = 1,
+    journal: Optional["RunJournal"] = None,
+    retry: Optional["RetryPolicy"] = None,
 ) -> AblationResult:
     """Section 6 future work: allocate key variables to global registers.
 
@@ -348,27 +444,41 @@ def run_global_widening_ablation(
             (
                 f"extra globals={count}",
                 build(),
-                EvaluationOptions(trace_length=trace_length, dual_assignment=assignment),
+                EvaluationOptions(
+                    trace_length=trace_length,
+                    dual_assignment=assignment,
+                    retry=retry,
+                ),
             )
         )
     return AblationResult(
-        "extra global registers (Section 6 future work)", _points(tasks, jobs)
+        "extra global registers (Section 6 future work)",
+        _points(tasks, jobs, journal, sweep="global-widening"),
     )
 
 
 def run_assignment_ablation(
-    build: Callable[[], Workload], trace_length: int = 30_000, jobs: int = 1
+    build: Callable[[], Workload],
+    trace_length: int = 30_000,
+    jobs: int = 1,
+    journal: Optional["RunJournal"] = None,
+    retry: Optional["RetryPolicy"] = None,
 ) -> AblationResult:
     """Even/odd (the paper's choice) vs low/high register-to-cluster maps."""
     tasks = [
         (
             label,
             build(),
-            EvaluationOptions(trace_length=trace_length, dual_assignment=assignment),
+            EvaluationOptions(
+                trace_length=trace_length, dual_assignment=assignment, retry=retry
+            ),
         )
         for label, assignment in (
             ("even/odd", RegisterAssignment.even_odd_dual()),
             ("low/high", RegisterAssignment.low_high_dual()),
         )
     ]
-    return AblationResult("register-to-cluster assignment", _points(tasks, jobs))
+    return AblationResult(
+        "register-to-cluster assignment",
+        _points(tasks, jobs, journal, sweep="assignment"),
+    )

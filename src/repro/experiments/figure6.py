@@ -107,18 +107,48 @@ def run_figure6(imbalance_threshold: int = 2) -> Figure6Result:
 
 
 def run_figure6_sweep(
-    thresholds: tuple[int, ...] = (0, 1, 2, 4, 8), jobs: int = 1
+    thresholds: tuple[int, ...] = (0, 1, 2, 4, 8),
+    jobs: int = 1,
+    journal=None,
 ) -> list[tuple[int, Figure6Result]]:
     """Run the Figure 6 walk-through across imbalance thresholds.
 
     The worked example is deterministic per threshold, so the sweep is
     embarrassingly parallel; ``jobs != 1`` fans the points out to worker
-    processes with identical results.
+    processes with identical results.  A ``journal``
+    (:class:`~repro.robustness.journal.RunJournal`) makes the sweep
+    resumable: journaled thresholds are reused verbatim and only missing
+    points are recomputed.
     """
     from repro.perf.parallel import parallel_map
 
-    results = parallel_map(run_figure6, list(thresholds), jobs=jobs)
-    return list(zip(thresholds, results))
+    results: dict[int, Figure6Result] = {}
+    pending = list(thresholds)
+    fingerprints: dict[int, str] = {}
+    if journal is not None:
+        from repro.perf.fingerprint import fingerprint
+
+        fingerprints = {
+            t: fingerprint(("figure6/v1", t)) for t in thresholds
+        }
+        pending = []
+        for t in thresholds:
+            reused = journal.load_artifact(
+                journal.completed(f"figure6:threshold={t}", fingerprints[t])
+            )
+            if isinstance(reused, Figure6Result):
+                results[t] = reused
+            else:
+                pending.append(t)
+
+    computed = parallel_map(run_figure6, pending, jobs=jobs)
+    for t, result in zip(pending, computed):
+        results[t] = result
+        if journal is not None:
+            journal.record_completed(
+                f"figure6:threshold={t}", fingerprints[t], artifact_value=result
+            )
+    return [(t, results[t]) for t in thresholds]
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

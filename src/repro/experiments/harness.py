@@ -28,6 +28,7 @@ traced only once per evaluation).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional, Sequence
 
@@ -37,9 +38,11 @@ from repro.core.partition.local import LocalScheduler
 from repro.core.registers import RegisterAssignment
 from repro.errors import ReproError, SimulationError
 from repro.perf.cache import ArtifactCache, compile_key, trace_key
+from repro.robustness.faultinject import FaultPlan
+from repro.robustness.retry import RetryPolicy, run_with_retry
 from repro.robustness.validate import validate_run, validate_trace_length
 from repro.uarch.config import ProcessorConfig, dual_cluster_config, single_cluster_config
-from repro.uarch.processor import SimulationResult, simulate
+from repro.uarch.processor import Processor, SimulationResult, simulate
 from repro.workloads.generator import Workload
 from repro.workloads.spec92 import DEFAULT_TRACE_LENGTH
 from repro.workloads.tracegen import TraceGenerator
@@ -155,6 +158,15 @@ class EvaluationOptions:
     #: Artifact cache for compile/trace results.  ``None`` uses a fresh
     #: in-memory cache per evaluation (no cross-call reuse).
     cache: Optional[ArtifactCache] = None
+    #: Deterministic retry policy for sweep rows (repro.robustness.retry).
+    #: ``None`` = single attempt (no retries).
+    retry: Optional["RetryPolicy"] = None
+    #: Declarative fault-injection schedule (repro.robustness.faultinject).
+    #: Applied per (benchmark, part, attempt); ``None`` = no injection.
+    fault_plan: Optional["FaultPlan"] = None
+    #: Which sweep attempt this evaluation is (threaded by the retry
+    #: wrapper so transient fault specs can clear between attempts).
+    fault_attempt: int = 0
 
     def apply_robustness(self, config: ProcessorConfig) -> ProcessorConfig:
         """Thread the self-check / cycle-budget knobs into a machine config."""
@@ -243,6 +255,14 @@ def evaluate_workload_part(
             workload, RegisterAssignment.single_cluster(), None, options, cache
         )
     trace = _trace_cached(workload, compiled, ckey, options, cache)
+    plan = options.fault_plan
+    if plan:
+        # Sabotage a *copy* before validation, exactly where a mangled
+        # trace file would enter the pipeline; the cached artifact stays
+        # pristine, so a later clean attempt reuses it untouched.
+        trace = plan.apply_trace_faults(
+            workload.name, part, options.fault_attempt, trace
+        )
 
     if part == "single":
         config = options.apply_robustness(
@@ -257,7 +277,18 @@ def evaluate_workload_part(
         validate_run(
             config, assignment, trace, compiled.machine, benchmark=workload.name
         )
-    sim = simulate(trace, config, assignment)
+    if plan:
+        processor = Processor(config, assignment)
+        for fault in plan.runtime_faults(
+            workload.name,
+            part,
+            options.fault_attempt,
+            clusters=len(processor.clusters),
+        ):
+            processor.install_fault(fault)
+        sim = processor.run(trace)
+    else:
+        sim = simulate(trace, config, assignment)
     return PartOutcome(
         part=part,
         sim=sim,
@@ -298,3 +329,95 @@ def evaluate_workload(
         evaluate_workload_part(workload, part, options, cache) for part in PARTS
     ]
     return assemble_evaluation(workload.name, outcomes)
+
+
+def evaluate_workload_retrying(
+    workload: Workload,
+    options: Optional[EvaluationOptions] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> BenchmarkEvaluation:
+    """:func:`evaluate_workload` under the options' retry policy.
+
+    Errors still propagate (the caller owns degradation); each part just
+    gets its deterministic attempt budget first.  With no policy set this
+    is exactly :func:`evaluate_workload`.
+    """
+    options = options or EvaluationOptions()
+    if options.retry is None:
+        return evaluate_workload(workload, options, cache=cache)
+    if cache is None:
+        cache = options.cache if options.cache is not None else ArtifactCache()
+    outcomes = [
+        evaluate_part_with_retry(workload, part, options, cache)[0]
+        for part in PARTS
+    ]
+    return assemble_evaluation(workload.name, outcomes)
+
+
+def evaluate_part_with_retry(
+    workload: Workload,
+    part: str,
+    options: EvaluationOptions,
+    cache: Optional[ArtifactCache] = None,
+    sleep=time.sleep,
+) -> tuple[PartOutcome, int]:
+    """One evaluation part under the options' retry policy.
+
+    The unit of resilience shared by the serial and ``--jobs`` sweep
+    paths: attempt ``k`` re-runs the part with ``fault_attempt=k`` (so a
+    transient fault spec can clear), the backoff schedule is keyed by
+    ``benchmark:part`` (deterministic per seed), and the error that
+    finally escapes carries ``part``, ``attempts``, and
+    ``failure_class`` in its context for degradation records and replay
+    bundles.
+
+    Returns ``(outcome, attempts_used)``.
+    """
+
+    def one_attempt(attempt: int) -> PartOutcome:
+        return evaluate_workload_part(
+            workload, part, replace(options, fault_attempt=attempt), cache
+        )
+
+    try:
+        result = run_with_retry(
+            one_attempt,
+            policy=options.retry,
+            token=f"{workload.name}:{part}",
+            sleep=sleep,
+        )
+    except ReproError as error:
+        error.context.setdefault("part", part)
+        raise
+    return result.value, len(result.attempts)
+
+
+def evaluate_workload_resilient(
+    workload: Workload,
+    options: Optional[EvaluationOptions] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> tuple[Optional[BenchmarkEvaluation], Optional[BenchmarkFailure], int]:
+    """Full evaluation with per-part retries and graceful degradation.
+
+    Returns ``(evaluation, failure, total_attempts)`` where exactly one
+    of ``evaluation`` / ``failure`` is set.  With ``options.retry`` unset
+    this is behaviourally identical to :func:`evaluate_workload` wrapped
+    in the sweep's ``except ReproError`` degradation."""
+    options = options or EvaluationOptions()
+    if cache is None:
+        cache = options.cache if options.cache is not None else ArtifactCache()
+    outcomes: list[PartOutcome] = []
+    total_attempts = 0
+    for part in PARTS:
+        try:
+            outcome, attempts = evaluate_part_with_retry(
+                workload, part, options, cache
+            )
+        except ReproError as error:
+            total_attempts += error.context.get("attempts", 1)
+            return None, BenchmarkFailure.from_error(workload.name, error), (
+                total_attempts
+            )
+        outcomes.append(outcome)
+        total_attempts += attempts
+    return assemble_evaluation(workload.name, outcomes), None, total_attempts

@@ -140,23 +140,52 @@ def _reassignment_task(item):
 
 
 def run_reassignment_demo(
-    phase_length: int = 2000, jobs: int = 1
+    phase_length: int = 2000, jobs: int = 1, journal=None
 ) -> ReassignmentResult:
     """Race the two static maps against the dynamically switching machine.
 
     The three runs are independent; ``jobs != 1`` runs them in worker
     processes with bit-identical cycle counts (traces are rebuilt
-    deterministically inside each worker)."""
+    deterministically inside each worker).  A ``journal``
+    (:class:`~repro.robustness.journal.RunJournal`) journals each
+    machine's simulation result, so an interrupted demo resumes with only
+    the missing machines recomputed."""
     from repro.perf.parallel import parallel_map
 
-    even_odd, low_high, dynamic = parallel_map(
+    machines = ["even_odd", "low_high", "dynamic"]
+    sims: dict[str, object] = {}
+    pending = list(machines)
+    fingerprints: dict[str, str] = {}
+    if journal is not None:
+        from repro.perf.fingerprint import fingerprint
+
+        fingerprints = {
+            which: fingerprint(("reassignment/v1", phase_length, which))
+            for which in machines
+        }
+        pending = []
+        for which in machines:
+            reused = journal.load_artifact(
+                journal.completed(f"reassignment:{which}", fingerprints[which])
+            )
+            if reused is not None:
+                sims[which] = reused
+            else:
+                pending.append(which)
+
+    computed = parallel_map(
         _reassignment_task,
-        [
-            (phase_length, "even_odd"),
-            (phase_length, "low_high"),
-            (phase_length, "dynamic"),
-        ],
+        [(phase_length, which) for which in pending],
         jobs=jobs,
+    )
+    for which, sim in zip(pending, computed):
+        sims[which] = sim
+        if journal is not None:
+            journal.record_completed(
+                f"reassignment:{which}", fingerprints[which], artifact_value=sim
+            )
+    even_odd, low_high, dynamic = (
+        sims["even_odd"], sims["low_high"], sims["dynamic"],
     )
 
     return ReassignmentResult(

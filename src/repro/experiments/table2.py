@@ -23,17 +23,21 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import difflib
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro.errors import ConfigError, ReproError
 from repro.experiments.harness import (
     BenchmarkEvaluation,
     BenchmarkFailure,
     EvaluationOptions,
-    evaluate_workload,
+    evaluate_workload_resilient,
 )
 from repro.workloads.spec92 import PAPER_TABLE2, SPEC92
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.journal import RunJournal
 
 
 def _unknown_benchmark(name: str, valid: Iterable[str]) -> ConfigError:
@@ -83,9 +87,47 @@ class Table2Result:
         raise _unknown_benchmark(benchmark, [r.benchmark for r in self.rows])
 
 
+def _journal_failure(
+    journal: "RunJournal",
+    fingerprint: str,
+    name: str,
+    failure: BenchmarkFailure,
+    options: EvaluationOptions,
+    elapsed_s: float,
+) -> None:
+    """Journal a degraded row, serializing its replay bundle first."""
+    from repro.robustness.replay import capture_bundle
+
+    attempts = int(failure.context.get("attempts", 1))
+    bundle = capture_bundle(
+        name,
+        options,
+        error_type=failure.error_type,
+        error_message=failure.message,
+        error_context=failure.context,
+        part=failure.context.get("part"),
+        attempt=max(0, attempts - 1),
+    )
+    path = bundle.save(journal.bundle_path(f"table2-{name}"))
+    failure.context["replay_bundle"] = str(path)
+    journal.record_failed(
+        f"table2:{name}",
+        fingerprint,
+        error={
+            "type": failure.error_type,
+            "message": failure.message,
+            "part": failure.context.get("part"),
+        },
+        attempts=attempts,
+        elapsed_s=elapsed_s,
+        bundle=str(path.relative_to(journal.run_dir)),
+    )
+
+
 def run_table2(
     benchmarks: Optional[Iterable[str]] = None,
     options: Optional[EvaluationOptions] = None,
+    journal: Optional[Union["RunJournal", str]] = None,
 ) -> Table2Result:
     """Run the Table 2 experiment over the selected benchmarks.
 
@@ -93,36 +135,104 @@ def run_table2(
     :class:`ConfigError`.  A benchmark whose compile/trace/simulation
     fails with a :class:`ReproError` becomes a
     :class:`~repro.experiments.harness.BenchmarkFailure` record in
-    ``result.failures``; the remaining rows are still computed.
+    ``result.failures``; the remaining rows are still computed, and
+    ``options.retry`` grants transient failures a deterministic attempt
+    budget first.
 
     ``options.jobs != 1`` fans the benchmarks and their three runs each
     out to worker processes (``0`` = one per core) with bit-identical
     row values and the same degradation contract; ``options.cache``
     reuses compile/trace artifacts across runs.
+
+    ``journal`` (a :class:`~repro.robustness.journal.RunJournal` or a
+    run-directory path — the CLI's ``--resume``) makes the sweep
+    crash-safe: every finished row is journaled durably before the sweep
+    moves on, completed rows from a previous journal whose inputs
+    fingerprint matches are reused verbatim (so the resumed table is
+    bit-identical to an uninterrupted run), and unrecoverable failures
+    leave a replay bundle under the run directory.
     """
     names = list(benchmarks) if benchmarks is not None else sorted(SPEC92)
     for name in names:
         if name not in SPEC92:
             raise _unknown_benchmark(name, SPEC92)
     options = options or EvaluationOptions()
-    rows: list[Table2Row] = []
-    failures: list[BenchmarkFailure] = []
-    if options.jobs != 1 and len(names) > 0:
+    if isinstance(journal, (str,)) or (
+        journal is not None and not hasattr(journal, "record_completed")
+    ):
+        from repro.robustness.journal import RunJournal
+
+        journal = RunJournal(journal)
+
+    fingerprint = ""
+    evaluations: dict[str, BenchmarkEvaluation] = {}
+    failures_by_name: dict[str, BenchmarkFailure] = {}
+    pending = names
+    if journal is not None:
+        from repro.robustness.journal import options_fingerprint
+
+        fingerprint = options_fingerprint(options)
+        pending = []
+        for name in names:
+            reused = journal.load_artifact(
+                journal.completed(f"table2:{name}", fingerprint)
+            )
+            if isinstance(reused, BenchmarkEvaluation):
+                evaluations[name] = reused
+            else:
+                pending.append(name)
+
+    # Bundles and journal records describe the self-contained serial
+    # run shape, whichever path computed the row.
+    sealed_options = replace(options, jobs=1, cache=None)
+
+    def record(name: str, outcome, attempts: int, elapsed_s: float = 0.0) -> None:
+        if isinstance(outcome, BenchmarkFailure):
+            failures_by_name[name] = outcome
+            if journal is not None:
+                _journal_failure(
+                    journal, fingerprint, name, outcome, sealed_options, elapsed_s
+                )
+        else:
+            evaluations[name] = outcome
+            if journal is not None:
+                journal.record_completed(
+                    f"table2:{name}",
+                    fingerprint,
+                    artifact_value=outcome,
+                    attempts=attempts,
+                    elapsed_s=elapsed_s,
+                )
+
+    if options.jobs != 1 and len(pending) > 0:
         from repro.perf.parallel import run_table2_parallel
 
-        evaluations, failures = run_table2_parallel(names, options)
-        for name in names:
-            if name in evaluations:
-                rows.append(_row_for(name, evaluations[name]))
-        return Table2Result(rows, failures)
-    for name in names:
-        try:
-            workload = SPEC92[name]()
-            evaluation = evaluate_workload(workload, options)
-        except ReproError as error:
-            failures.append(BenchmarkFailure.from_error(name, error))
-            continue
-        rows.append(_row_for(name, evaluation))
+        run_table2_parallel(pending, options, on_benchmark=record)
+    else:
+        for name in pending:
+            row_start = time.perf_counter()
+            try:
+                workload = SPEC92[name]()
+            except ReproError as error:
+                record(
+                    name,
+                    BenchmarkFailure.from_error(name, error),
+                    1,
+                    time.perf_counter() - row_start,
+                )
+                continue
+            evaluation, failure, attempts = evaluate_workload_resilient(
+                workload, options
+            )
+            record(
+                name,
+                failure if failure is not None else evaluation,
+                attempts,
+                time.perf_counter() - row_start,
+            )
+
+    rows = [_row_for(name, evaluations[name]) for name in names if name in evaluations]
+    failures = [failures_by_name[n] for n in names if n in failures_by_name]
     return Table2Result(rows, failures)
 
 

@@ -20,7 +20,6 @@ artifact CI's perf-smoke job uploads.
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import tempfile
@@ -34,6 +33,7 @@ from repro.experiments.harness import EvaluationOptions
 from repro.experiments.table2 import Table2Result, run_table2
 from repro.perf.cache import ArtifactCache
 from repro.perf.parallel import resolve_jobs
+from repro.robustness.atomicio import atomic_write_json
 from repro.workloads.spec92 import DEFAULT_TRACE_LENGTH, SPEC92
 
 #: JSON schema version of BENCH_table2.json.
@@ -235,8 +235,9 @@ def run_bench(
     )
 
     if output is not None:
-        path = Path(output)
-        path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        # Atomic + fsync'd: a bench killed mid-write must never leave a
+        # torn BENCH_table2.json for CI trend tooling to choke on.
+        atomic_write_json(Path(output), report.as_dict(), sort_keys=False)
 
     if divergences:
         raise SimulationError(

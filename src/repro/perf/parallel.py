@@ -23,17 +23,31 @@ Design notes:
   which case all workers share the directory); per-task counter deltas
   are shipped back and merged into the parent's cache stats so hit/miss
   accounting stays correct under ``--jobs N``.
+* Retries run *inside* the worker (``options.retry``), so a transient
+  fault costs one worker a re-run, not the whole sweep a round-trip.
+* SIGINT/SIGTERM to the parent shuts the sweep down in order: pending
+  work units are cancelled, in-flight ones drain (they are seconds-sized),
+  every already-completed row has been delivered to the caller (and
+  journaled, when a journal is attached), workers exit with the pool —
+  no orphans — and the sweep raises
+  :class:`~repro.errors.SweepInterrupted` (exit code 130) so a follow-up
+  ``--resume`` picks up cleanly.  Workers ignore SIGINT themselves: the
+  parent owns cancellation, so a Ctrl-C delivered to the process group
+  cannot half-kill the pool.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import signal
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import replace
 from typing import Any, Callable, Optional, Sequence
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepInterrupted
 from repro.experiments.harness import (
     PARTS,
     BenchmarkEvaluation,
@@ -41,8 +55,8 @@ from repro.experiments.harness import (
     EvaluationOptions,
     PartOutcome,
     assemble_evaluation,
-    evaluate_workload,
-    evaluate_workload_part,
+    evaluate_part_with_retry,
+    evaluate_workload_retrying,
 )
 from repro.perf.cache import ArtifactCache, CacheStats
 
@@ -60,6 +74,13 @@ def resolve_jobs(jobs: int) -> int:
 def _init_worker(cache_dir) -> None:
     global _WORKER_CACHE
     _WORKER_CACHE = ArtifactCache(cache_dir)
+    # The parent coordinates interruption (cancel pending, drain running,
+    # journal, raise SweepInterrupted); a group-delivered Ctrl-C must not
+    # let workers die mid-task underneath it.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
 
 
 def _worker_cache() -> ArtifactCache:
@@ -83,6 +104,48 @@ def _pool(jobs: int, cache_dir=None) -> ProcessPoolExecutor:
     )
 
 
+@contextmanager
+def sweep_signals():
+    """Deliver SIGTERM (and SIGINT) as ``KeyboardInterrupt`` to the sweep.
+
+    SIGINT already raises ``KeyboardInterrupt``; SIGTERM — what service
+    managers and CI runners send first — normally kills the process
+    outright, orphaning workers and tearing the journal's final line.
+    Inside this context both funnel into the sweep's orderly-shutdown
+    path.  No-op outside the main thread (signal handlers are
+    main-thread-only; nested sweeps keep the outer handler).
+    """
+    previous = {}
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _interrupt)
+        except ValueError:  # not the main thread
+            pass
+    try:
+        yield
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
+def _interrupted(pool: ProcessPoolExecutor, futures, cause: str) -> SweepInterrupted:
+    """Orderly shutdown after an interrupt; returns the error to raise."""
+    cancelled = 0
+    for future in futures:
+        if future.cancel():
+            cancelled += 1
+    pool.shutdown(wait=True, cancel_futures=True)
+    return SweepInterrupted(
+        "sweep interrupted; completed rows are journaled and the run is "
+        "resumable with --resume",
+        cause=cause,
+        cancelled_units=cancelled,
+    )
+
+
 def parallel_map(
     fn: Callable[[Any], Any],
     items: Sequence[Any],
@@ -96,18 +159,23 @@ def parallel_map(
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with _pool(jobs, cache_dir) as pool:
-        return list(pool.map(fn, items))
+    with _pool(jobs, cache_dir) as pool, sweep_signals():
+        try:
+            return list(pool.map(fn, items))
+        except (KeyboardInterrupt, BrokenProcessPool) as error:
+            raise _interrupted(pool, (), type(error).__name__) from None
 
 
 # ------------------------------------------------------------- Table 2 sweep
 def _sweep_task(item: tuple[str, str, EvaluationOptions]):
     """One (benchmark, part) unit, run inside a worker process.
 
-    Returns ``(name, part, outcome_or_failure, stats_delta)``; a
-    :class:`ReproError` anywhere in build/compile/trace/simulate becomes
-    a :class:`BenchmarkFailure` here, in the worker, so context survives
-    the trip home.
+    Returns ``(name, part, outcome_or_failure, attempts, stats_delta)``;
+    the options' retry policy runs here, in the worker, and a
+    :class:`ReproError` that survives it becomes a
+    :class:`BenchmarkFailure` here too, so context (including the
+    failing part, attempt count, and failure class) survives the trip
+    home.
     """
     from repro.workloads.spec92 import SPEC92
 
@@ -116,15 +184,18 @@ def _sweep_task(item: tuple[str, str, EvaluationOptions]):
     baseline = cache.stats.snapshot()
     try:
         workload = SPEC92[name]()
-        outcome = evaluate_workload_part(workload, part, options, cache)
-        return name, part, outcome, cache.stats.delta(baseline)
+        outcome, attempts = evaluate_part_with_retry(workload, part, options, cache)
+        return name, part, outcome, attempts, cache.stats.delta(baseline)
     except ReproError as error:
         failure = BenchmarkFailure.from_error(name, error)
-        return name, part, failure, cache.stats.delta(baseline)
+        attempts = error.context.get("attempts", 1)
+        return name, part, failure, attempts, cache.stats.delta(baseline)
 
 
 def run_table2_parallel(
-    names: Sequence[str], options: EvaluationOptions
+    names: Sequence[str],
+    options: EvaluationOptions,
+    on_benchmark: Optional[Callable[[str, Any, int], None]] = None,
 ) -> tuple[dict[str, BenchmarkEvaluation], list[BenchmarkFailure]]:
     """Fan a Table 2 sweep out to worker processes.
 
@@ -132,6 +203,13 @@ def run_table2_parallel(
     failure records the serial sweep would produce: a benchmark with any
     failed part yields one failure (the first in part order — the order
     the serial methodology hits them) and no row.
+
+    ``on_benchmark(name, evaluation_or_failure, attempts)`` fires in the
+    parent the moment a benchmark's three parts are all home — the
+    journaling hook: each finished row is durable before the sweep moves
+    on, so a kill at any point loses at most in-flight benchmarks.
+    Interrupts raise :class:`~repro.errors.SweepInterrupted` after every
+    finished row has been delivered.
     """
     jobs = resolve_jobs(options.jobs)
     cache = options.cache
@@ -142,52 +220,97 @@ def run_table2_parallel(
     items = [(name, part, worker_options) for name in names for part in PARTS]
 
     results: dict[tuple[str, str], Any] = {}
-    with _pool(jobs, cache_dir) as pool:
-        for name, part, payload, stats_delta in pool.map(_sweep_task, items):
-            results[(name, part)] = payload
-            if cache is not None:
-                cache.stats.merge(stats_delta)
-
+    attempts_by_name: dict[str, int] = {name: 0 for name in names}
+    finished: set[str] = set()
     evaluations: dict[str, BenchmarkEvaluation] = {}
-    failures: list[BenchmarkFailure] = []
-    for name in names:
+    failures_by_name: dict[str, BenchmarkFailure] = {}
+
+    def _finish_benchmark(name: str) -> None:
         payloads = [results[(name, part)] for part in PARTS]
         failed = [p for p in payloads if isinstance(p, BenchmarkFailure)]
         if failed:
-            failures.append(failed[0])
-            continue
-        outcomes: list[PartOutcome] = payloads
-        evaluations[name] = assemble_evaluation(name, outcomes)
+            outcome: Any = failed[0]
+            failures_by_name[name] = failed[0]
+        else:
+            outcomes: list[PartOutcome] = payloads
+            outcome = assemble_evaluation(name, outcomes)
+            evaluations[name] = outcome
+        finished.add(name)
+        if on_benchmark is not None:
+            on_benchmark(name, outcome, attempts_by_name[name])
+
+    with _pool(jobs, cache_dir) as pool, sweep_signals():
+        futures = [pool.submit(_sweep_task, item) for item in items]
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    name, part, payload, attempts, stats_delta = future.result()
+                    results[(name, part)] = payload
+                    attempts_by_name[name] += attempts
+                    if cache is not None:
+                        cache.stats.merge(stats_delta)
+                    if all((name, p) in results for p in PARTS):
+                        _finish_benchmark(name)
+        except (KeyboardInterrupt, BrokenProcessPool) as error:
+            raise _interrupted(pool, pending, type(error).__name__) from None
+
+    failures = [failures_by_name[n] for n in names if n in failures_by_name]
     return evaluations, failures
 
 
 # --------------------------------------------------------- generic eval fan
 def _evaluate_task(item: tuple[Any, EvaluationOptions]) -> BenchmarkEvaluation:
     workload, options = item
-    return evaluate_workload(workload, options, cache=_worker_cache())
+    return evaluate_workload_retrying(workload, options, cache=_worker_cache())
 
 
 def evaluate_many(
     tasks: Sequence[tuple[Any, EvaluationOptions]],
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
+    on_result: Optional[Callable[[int, BenchmarkEvaluation], None]] = None,
 ) -> list[BenchmarkEvaluation]:
     """Evaluate ``(workload, options)`` pairs, optionally across workers.
 
     Used by the ablation and Figure 6 sweeps, whose points are fully
     formed workloads rather than registry names.  Errors propagate (these
-    sweeps have no per-row degradation contract).
+    sweeps have no per-row degradation contract), but each point runs
+    under the options' retry policy first.  ``on_result(index, result)``
+    fires per completed point — again the journaling hook — and
+    interrupts raise :class:`~repro.errors.SweepInterrupted` after the
+    completed points are delivered.
     """
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(tasks) <= 1:
-        return [
-            evaluate_workload(workload, options, cache=cache)
-            for workload, options in tasks
-        ]
+        out = []
+        for index, (workload, options) in enumerate(tasks):
+            result = evaluate_workload_retrying(workload, options, cache=cache)
+            if on_result is not None:
+                on_result(index, result)
+            out.append(result)
+        return out
     cache_dir = cache.cache_dir if cache is not None else None
     items = [
         (workload, replace(options, jobs=1, cache=None))
         for workload, options in tasks
     ]
-    with _pool(jobs, cache_dir) as pool:
-        return list(pool.map(_evaluate_task, items))
+    results: list[Optional[BenchmarkEvaluation]] = [None] * len(items)
+    with _pool(jobs, cache_dir) as pool, sweep_signals():
+        future_index = {
+            pool.submit(_evaluate_task, item): index
+            for index, item in enumerate(items)
+        }
+        pending = set(future_index)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = future_index[future]
+                    results[index] = future.result()
+                    if on_result is not None:
+                        on_result(index, results[index])
+        except (KeyboardInterrupt, BrokenProcessPool) as error:
+            raise _interrupted(pool, pending, type(error).__name__) from None
+    return results  # type: ignore[return-value]

@@ -13,8 +13,27 @@ typed* instead of silent or hanging:
   :class:`~repro.errors.ReproError`;
 * :mod:`repro.robustness.checkpoint` — snapshot/resume for long
   simulations.
+
+PR 3 adds the *resilient sweep orchestration* layer on top:
+
+* :mod:`repro.robustness.retry` — deterministic seeded retry policy and
+  transient/permanent failure classification;
+* :mod:`repro.robustness.journal` — append-only JSONL run journal behind
+  ``--resume`` (crash-safe sweeps, bit-identical resumed tables);
+* :mod:`repro.robustness.replay` — self-contained replay bundles and the
+  ``repro replay`` verifier (imported lazily: it needs the experiments
+  layer, which imports this package);
+* :mod:`repro.robustness.chaos` — the seeded chaos soak harness behind
+  ``repro chaos`` (also lazily imported);
+* :mod:`repro.robustness.atomicio` — atomic, fsync'd file writes shared
+  by the journal, bundles, reports, and the bench harness.
 """
 
+from repro.robustness.atomicio import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
 from repro.robustness.checkpoint import (
     SimulationCheckpoint,
     restore,
@@ -25,9 +44,20 @@ from repro.robustness.faultinject import (
     DropPendingEvents,
     DropTransferEntry,
     DuplicateTransferEntry,
+    FaultPlan,
+    FaultSpec,
     StuckFunctionalUnit,
     corrupt_operand,
     truncate_trace,
+)
+from repro.robustness.journal import JournalEntry, RunJournal, options_fingerprint
+from repro.robustness.retry import (
+    AttemptRecord,
+    RetryOutcome,
+    RetryPolicy,
+    backoff_schedule,
+    classify_error,
+    run_with_retry,
 )
 from repro.robustness.invariants import InvariantChecker
 from repro.robustness.validate import (
@@ -47,10 +77,24 @@ __all__ = [
     "DropPendingEvents",
     "DropTransferEntry",
     "DuplicateTransferEntry",
+    "FaultPlan",
+    "FaultSpec",
     "StuckFunctionalUnit",
     "corrupt_operand",
     "truncate_trace",
     "InvariantChecker",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "JournalEntry",
+    "RunJournal",
+    "options_fingerprint",
+    "AttemptRecord",
+    "RetryOutcome",
+    "RetryPolicy",
+    "backoff_schedule",
+    "classify_error",
+    "run_with_retry",
     "validate_assignment",
     "validate_config",
     "validate_machine_program",

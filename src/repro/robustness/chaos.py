@@ -1,0 +1,339 @@
+"""Seeded chaos soak harness: prove the resilience story under fire.
+
+``repro chaos`` runs a sequence of Table 2 sweeps, each under a
+*randomized but seeded* fault-injection schedule (a
+:class:`~repro.robustness.faultinject.FaultPlan` drawn from a
+per-round PRNG), and asserts the orchestration contract end to end:
+
+* every induced failure is either retried to success (transient faults
+  clear between attempts) or degrades into a
+  :class:`~repro.experiments.harness.BenchmarkFailure` — the sweep
+  itself never dies;
+* every unrecoverable failure carries a replay bundle on disk, and
+  replaying that bundle reproduces the *same* typed error (type and
+  message) — verified by actually replaying each one;
+* every round's journal is well-formed and every journaled row is
+  loadable.
+
+The verdict is a :class:`HealthReport` (JSON on disk, formatted text on
+stdout) whose :attr:`~HealthReport.healthy` flag drives the CLI exit
+code: ``0`` healthy, ``5`` violations found.  The same seed always
+yields the same fault schedules, so a red chaos run in CI is locally
+reproducible with one flag.
+
+Speed notes: chaos runs use short traces, a zero-delay retry policy
+(determinism comes from the schedule, not wall-clock sleeping), and an
+explicit watchdog cycle budget sized to the trace — a fault that wedges
+the simulator costs milliseconds, not a watchdog-default eternity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ConfigError
+from repro.robustness.atomicio import atomic_write_json
+from repro.robustness.faultinject import (
+    RUNTIME_FAULT_KINDS,
+    TRACE_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.robustness.retry import RetryPolicy
+
+#: Bump when the health-report layout changes incompatibly.
+HEALTH_SCHEMA = 1
+
+#: Parts an evaluation sweeps (mirrors harness.PARTS; imported lazily
+#: there to keep this module importable without the experiments layer).
+_PARTS = ("single", "dual_none", "dual_local")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs for one chaos soak.
+
+    The defaults are CI-smoke sized (a couple of benchmarks, short
+    traces); a longer soak just raises ``rounds`` / ``trace_length``.
+    """
+
+    seed: int = 0
+    rounds: int = 3
+    benchmarks: tuple[str, ...] = ("compress", "ora")
+    trace_length: int = 1000
+    #: Worker processes per sweep (chaos exercises the same ``--jobs``
+    #: machinery the real sweeps use).
+    jobs: int = 1
+    #: Fault specs drawn per round (1..max, inclusive).
+    max_faults: int = 2
+    #: Retry attempts granted per evaluation part.
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ConfigError(f"chaos rounds must be >= 1, got {self.rounds}")
+        if self.max_faults < 1:
+            raise ConfigError(
+                f"chaos max_faults must be >= 1, got {self.max_faults}"
+            )
+        if self.trace_length < 100:
+            raise ConfigError(
+                f"chaos trace_length must be >= 100, got {self.trace_length}"
+            )
+        if not self.benchmarks:
+            raise ConfigError("chaos needs at least one benchmark")
+
+
+def _round_rng(seed: int, round_index: int) -> random.Random:
+    digest = hashlib.sha256(f"chaos|{seed}|{round_index}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def random_fault_plan(
+    rng: random.Random,
+    benchmarks: tuple[str, ...],
+    trace_length: int,
+    max_faults: int,
+) -> FaultPlan:
+    """Draw a seeded fault schedule for one chaos round.
+
+    Faults target a random benchmark and (sometimes) a specific
+    evaluation part, fire at a random cycle inside the run, and are
+    transient (``clear_after`` 1–2) or persistent with equal-ish odds —
+    so every round exercises both the retry path and the
+    degrade-with-bundle path.
+    """
+    specs = []
+    for _ in range(rng.randint(1, max_faults)):
+        kind = rng.choice(RUNTIME_FAULT_KINDS + TRACE_FAULT_KINDS)
+        if kind in TRACE_FAULT_KINDS:
+            at = rng.randint(trace_length // 4, max(2, trace_length - 2))
+        else:
+            at = rng.randint(50, trace_length * 4)
+        specs.append(
+            FaultSpec(
+                kind=kind,
+                benchmark=rng.choice(benchmarks),
+                part=rng.choice((None,) + _PARTS),
+                at_cycle=at,
+                cluster=rng.randint(0, 1),
+                buffer=rng.choice(("operand", "duplicate")),
+                clear_after=rng.choice((1, 2, None)),
+            )
+        )
+    return FaultPlan(specs=tuple(specs))
+
+
+@dataclass
+class RoundReport:
+    """What one chaos round did and whether the contract held."""
+
+    round_index: int
+    fault_plan: dict
+    completed_rows: int
+    failed_rows: int
+    #: Rows that needed more than one attempt on some part and still
+    #: completed — the retry policy visibly earning its keep.
+    retried_to_success: int
+    #: Bundles written for failed rows, all verified by replay.
+    bundles_verified: int
+    elapsed_s: float
+    #: Contract violations ("" when none): failures without bundles,
+    #: bundles that did not reproduce, unloadable journal rows.
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class HealthReport:
+    """The chaos soak's final verdict."""
+
+    seed: int
+    rounds: list[RoundReport]
+    elapsed_s: float
+    schema: int = HEALTH_SCHEMA
+
+    @property
+    def healthy(self) -> bool:
+        return all(r.healthy for r in self.rounds)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.healthy else 5
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "seed": self.seed,
+            "healthy": self.healthy,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "rounds": [asdict(r) for r in self.rounds],
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        atomic_write_json(path, self.as_dict())
+        return path
+
+    def format(self) -> str:
+        verdict = "HEALTHY" if self.healthy else "UNHEALTHY"
+        lines = [
+            f"chaos soak: seed={self.seed} rounds={len(self.rounds)} "
+            f"elapsed={self.elapsed_s:.1f}s -> {verdict}",
+            f"{'round':>5} {'faults':>6} {'rows':>5} {'failed':>6} "
+            f"{'retried':>7} {'bundles':>7}  violations",
+        ]
+        for r in self.rounds:
+            n_faults = len(r.fault_plan.get("specs", ()))
+            lines.append(
+                f"{r.round_index:>5} {n_faults:>6} {r.completed_rows:>5} "
+                f"{r.failed_rows:>6} {r.retried_to_success:>7} "
+                f"{r.bundles_verified:>7}  "
+                + ("; ".join(r.violations) if r.violations else "-")
+            )
+        return "\n".join(lines)
+
+
+def _run_round(
+    config: ChaosConfig, round_index: int, run_dir: Path
+) -> RoundReport:
+    from repro.experiments.harness import EvaluationOptions
+    from repro.experiments.table2 import run_table2
+    from repro.robustness.journal import RunJournal
+    from repro.robustness.replay import replay_file
+
+    rng = _round_rng(config.seed, round_index)
+    plan = random_fault_plan(
+        rng, config.benchmarks, config.trace_length, config.max_faults
+    )
+    options = EvaluationOptions(
+        trace_length=config.trace_length,
+        self_check=True,
+        # A wedged simulation must die at watchdog speed, not default
+        # budget speed: chaos replays failures, so a generous budget
+        # would be paid several times over.
+        cycle_budget=config.trace_length * 30 + 10_000,
+        jobs=config.jobs,
+        retry=RetryPolicy(
+            max_attempts=config.max_attempts,
+            base_delay=0.0,
+            seed=config.seed,
+        ),
+        fault_plan=plan,
+    )
+    round_dir = run_dir / f"round-{round_index:02d}"
+    start = time.perf_counter()
+    journal = RunJournal(round_dir)
+    violations: list[str] = []
+    try:
+        result = run_table2(list(config.benchmarks), options, journal=journal)
+    finally:
+        journal.close()
+
+    # Contract 1: the sweep completed and accounted for every benchmark.
+    accounted = {r.benchmark for r in result.rows}
+    accounted.update(f.benchmark for f in result.failures)
+    for name in config.benchmarks:
+        if name not in accounted:
+            violations.append(f"{name}: row neither completed nor degraded")
+
+    # Contract 2: every unrecoverable failure carries a bundle that
+    # replays to the same typed error.
+    bundles_verified = 0
+    for failure in result.failures:
+        bundle = failure.context.get("replay_bundle")
+        if not bundle:
+            violations.append(
+                f"{failure.benchmark}: degraded without a replay bundle"
+            )
+            continue
+        verdict = replay_file(bundle)
+        if verdict.reproduced:
+            bundles_verified += 1
+        else:
+            violations.append(
+                f"{failure.benchmark}: bundle did not reproduce "
+                f"(expected {verdict.bundle.error_type}: "
+                f"{verdict.bundle.error_message!r}, got "
+                f"{verdict.actual_type}: {verdict.actual_message!r})"
+            )
+
+    # Contract 3: the journal survived the round — every completed row
+    # is re-loadable (what a later --resume would lean on).
+    reopened = RunJournal(round_dir)
+    retried = 0
+    try:
+        for entry in reopened.entries():
+            if entry.status != "completed":
+                continue
+            if reopened.load_artifact(entry) is None:
+                violations.append(f"{entry.key}: journaled row unloadable")
+            if entry.attempts > len(_PARTS):
+                retried += 1
+    finally:
+        reopened.close()
+
+    return RoundReport(
+        round_index=round_index,
+        fault_plan=plan.as_dict(),
+        completed_rows=len(result.rows),
+        failed_rows=len(result.failures),
+        retried_to_success=retried,
+        bundles_verified=bundles_verified,
+        elapsed_s=round(time.perf_counter() - start, 3),
+        violations=violations,
+    )
+
+
+def run_chaos(
+    config: Optional[ChaosConfig] = None,
+    run_dir: Union[str, Path, None] = None,
+) -> HealthReport:
+    """Run the chaos soak; returns the :class:`HealthReport`.
+
+    ``run_dir`` keeps the per-round journals, bundles, and the final
+    ``health.json`` for post-mortems (CI uploads it on failure); when
+    omitted everything lives in a temporary directory that is discarded
+    after the verdict — the bundles have already been replay-verified by
+    then.
+    """
+    config = config or ChaosConfig()
+    start = time.perf_counter()
+    if run_dir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            rounds = [
+                _run_round(config, i, Path(tmp)) for i in range(config.rounds)
+            ]
+            report = HealthReport(
+                seed=config.seed,
+                rounds=rounds,
+                elapsed_s=time.perf_counter() - start,
+            )
+        return report
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    rounds = [_run_round(config, i, run_dir) for i in range(config.rounds)]
+    report = HealthReport(
+        seed=config.seed, rounds=rounds, elapsed_s=time.perf_counter() - start
+    )
+    report.save(run_dir / "health.json")
+    return report
+
+
+__all__ = [
+    "HEALTH_SCHEMA",
+    "ChaosConfig",
+    "HealthReport",
+    "RoundReport",
+    "random_fault_plan",
+    "run_chaos",
+]

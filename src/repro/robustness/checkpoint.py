@@ -21,15 +21,22 @@ Typical use::
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uarch.config import ProcessorConfig
     from repro.uarch.processor import Processor, SimulationResult
     from repro.workloads.trace import DynamicInstruction
 
 #: Bump when the processor's pickled layout changes incompatibly.
-CHECKPOINT_VERSION = 1
+#: v2: checkpoints carry the machine config's content fingerprint and
+#: the on-disk format gained a magic header checked *before* unpickling.
+CHECKPOINT_VERSION = 2
+
+#: On-disk header: format identity + version, readable without (and
+#: validated before) running the pickle machinery on untrusted bytes.
+CHECKPOINT_MAGIC = b"repro-checkpoint %d\n" % CHECKPOINT_VERSION
 
 
 @dataclass
@@ -42,6 +49,10 @@ class SimulationCheckpoint:
     instructions_retired: int
     trace_length: int
     payload: bytes
+    #: Content fingerprint of the machine config the snapshot was taken
+    #: under; :func:`restore` can reject a checkpoint resumed against a
+    #: different machine before any state is trusted.
+    config_fingerprint: str = field(default="", repr=False)
 
     def summary(self) -> str:
         return (
@@ -52,6 +63,8 @@ class SimulationCheckpoint:
 
 def snapshot(processor: "Processor") -> SimulationCheckpoint:
     """Capture a resumable snapshot of ``processor`` between cycles."""
+    from repro.perf.fingerprint import fingerprint
+
     return SimulationCheckpoint(
         version=CHECKPOINT_VERSION,
         config_name=processor.config.name,
@@ -59,30 +72,90 @@ def snapshot(processor: "Processor") -> SimulationCheckpoint:
         instructions_retired=processor.stats.instructions,
         trace_length=len(processor._trace),
         payload=pickle.dumps(processor, protocol=pickle.HIGHEST_PROTOCOL),
+        config_fingerprint=fingerprint(processor.config),
     )
 
 
-def restore(checkpoint: SimulationCheckpoint) -> "Processor":
-    """Reconstruct the mid-run processor held by ``checkpoint``."""
-    from repro.errors import SimulationError
+def restore(
+    checkpoint: SimulationCheckpoint,
+    expected_config: Optional["ProcessorConfig"] = None,
+) -> "Processor":
+    """Reconstruct the mid-run processor held by ``checkpoint``.
+
+    Raises :class:`~repro.errors.ConfigError` when the checkpoint was
+    written by an incompatible build (version mismatch) or, when
+    ``expected_config`` is given, under a machine config whose content
+    fingerprint differs — resuming a snapshot on the wrong machine
+    would silently produce numbers from a config nobody asked for.
+    """
+    from repro.errors import ConfigError
 
     if checkpoint.version != CHECKPOINT_VERSION:
-        raise SimulationError(
+        raise ConfigError(
             f"checkpoint version {checkpoint.version} is not resumable by "
             f"this build (expected {CHECKPOINT_VERSION})",
             config=checkpoint.config_name,
         )
+    if expected_config is not None:
+        from repro.perf.fingerprint import fingerprint
+
+        expected = fingerprint(expected_config)
+        if checkpoint.config_fingerprint != expected:
+            raise ConfigError(
+                "checkpoint was taken under a different machine config "
+                f"({checkpoint.config_name}, fingerprint "
+                f"{checkpoint.config_fingerprint[:12]}...) than the one "
+                f"requested ({expected_config.name}, {expected[:12]}...)",
+                config=checkpoint.config_name,
+                expected_config=expected_config.name,
+            )
     return pickle.loads(checkpoint.payload)
 
 
 def save_checkpoint(checkpoint: SimulationCheckpoint, path: str) -> None:
-    with open(path, "wb") as fh:
-        pickle.dump(checkpoint, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    """Write ``checkpoint`` atomically: magic header, then the pickle."""
+    from repro.robustness.atomicio import atomic_write_bytes
+
+    atomic_write_bytes(
+        path,
+        CHECKPOINT_MAGIC
+        + pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL),
+    )
 
 
 def load_checkpoint(path: str) -> SimulationCheckpoint:
+    """Read a checkpoint file, validating the header before unpickling.
+
+    A missing or wrong magic header (truncated file, a pickle from an
+    older build, some unrelated file) raises a typed
+    :class:`~repro.errors.ConfigError` without ever handing the bytes to
+    ``pickle`` — so does a file whose payload is not a checkpoint.
+    """
+    from repro.errors import ConfigError
+
     with open(path, "rb") as fh:
-        return pickle.load(fh)
+        header = fh.readline(len(CHECKPOINT_MAGIC) + 32)
+        if header != CHECKPOINT_MAGIC:
+            raise ConfigError(
+                f"{path!r} is not a version-{CHECKPOINT_VERSION} checkpoint "
+                f"file (bad header {header[:32]!r})",
+                path=str(path),
+            )
+        try:
+            checkpoint = pickle.load(fh)
+        except Exception as error:
+            raise ConfigError(
+                f"checkpoint file {path!r} is corrupt "
+                f"({type(error).__name__}: {error})",
+                path=str(path),
+            ) from None
+    if not isinstance(checkpoint, SimulationCheckpoint):
+        raise ConfigError(
+            f"checkpoint file {path!r} holds a "
+            f"{type(checkpoint).__name__}, not a SimulationCheckpoint",
+            path=str(path),
+        )
+    return checkpoint
 
 
 def finish(processor: "Processor") -> "SimulationResult":

@@ -22,7 +22,7 @@ so tests can assert the fault was injected and not dodged by timing.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.isa.registers import Register
 from repro.workloads.trace import DynamicInstruction
@@ -212,3 +212,167 @@ class DropPendingEvents(RuntimeFault):
 
     def _inject(self, processor: "Processor", cycle: int) -> bool:  # pragma: no cover
         raise AssertionError("DropPendingEvents overrides __call__")
+
+
+# ============================================================== fault plans
+#
+# A *fault plan* is the declarative, serializable form of an injection
+# schedule: which fault, on which benchmark, during which evaluation part,
+# from which cycle (or trace index), and for how many sweep attempts.  The
+# chaos harness generates plans from a seeded PRNG, the evaluation harness
+# applies them (see ``EvaluationOptions.fault_plan``), and replay bundles
+# embed them — the same plan always rebuilds the same injectors, which is
+# what makes an induced failure deterministically replayable.
+
+#: Runtime injector kinds (installed on a live processor).
+RUNTIME_FAULT_KINDS = (
+    "stuck_divider",
+    "drop_transfer",
+    "duplicate_transfer",
+    "drop_events",
+)
+#: Trace corruption kinds (applied to the dynamic trace before validation).
+TRACE_FAULT_KINDS = ("truncate_trace", "corrupt_operand")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: what, where, when, and for how long.
+
+    ``clear_after`` models transience in *attempt* space: the fault is
+    active only while ``attempt < clear_after`` (``None`` = persistent).
+    A spec with ``clear_after=1`` sabotages the first attempt and lets a
+    retry through clean — the shape the retry policy exists for.
+    """
+
+    kind: str
+    benchmark: Optional[str] = None  # None = every benchmark
+    part: Optional[str] = None       # None = every evaluation part
+    #: First active cycle (runtime faults) or trace index (trace faults).
+    at_cycle: int = 0
+    cluster: int = 0
+    buffer: str = "operand"
+    #: Attempts before the fault clears; ``None`` = persistent.
+    clear_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in RUNTIME_FAULT_KINDS + TRACE_FAULT_KINDS:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; valid: "
+                f"{RUNTIME_FAULT_KINDS + TRACE_FAULT_KINDS}",
+                kind=self.kind,
+            )
+
+    def active(self, benchmark: str, part: str, attempt: int) -> bool:
+        if self.benchmark is not None and self.benchmark != benchmark:
+            return False
+        if self.part is not None and self.part != part:
+            return False
+        if self.clear_after is not None and attempt >= self.clear_after:
+            return False
+        return True
+
+    def build_runtime(self) -> RuntimeFault:
+        """Instantiate the live injector for a runtime fault spec."""
+        if self.kind == "stuck_divider":
+            return StuckFunctionalUnit(self.at_cycle, cluster=self.cluster)
+        if self.kind == "drop_transfer":
+            return DropTransferEntry(
+                self.at_cycle, cluster=self.cluster, kind=self.buffer
+            )
+        if self.kind == "duplicate_transfer":
+            return DuplicateTransferEntry(
+                self.at_cycle, cluster=self.cluster, kind=self.buffer
+            )
+        if self.kind == "drop_events":
+            return DropPendingEvents(self.at_cycle)
+        raise AssertionError(f"not a runtime fault kind: {self.kind!r}")
+
+    def apply_trace(
+        self, trace: Sequence[DynamicInstruction]
+    ) -> Sequence[DynamicInstruction]:
+        """Apply a trace-corruption spec, returning a sabotaged copy.
+
+        Degrades to a no-op on traces too short to corrupt — a dodged
+        fault, which the chaos harness counts as benign.
+        """
+        if self.kind == "truncate_trace":
+            if len(trace) < 3:
+                return trace
+            drop_at = max(1, min(self.at_cycle, len(trace) - 2))
+            return truncate_trace(trace, drop_at)
+        if self.kind == "corrupt_operand":
+            from repro.isa.registers import int_reg
+
+            replacement = int_reg(9)
+            start = min(self.at_cycle, max(0, len(trace) - 1))
+            for index in range(start, len(trace)):
+                srcs = trace[index].instr.srcs
+                if srcs and srcs[0] != replacement:
+                    return corrupt_operand(trace, index, 0, replacement)
+            return trace
+        raise AssertionError(f"not a trace fault kind: {self.kind!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """An immutable bundle of :class:`FaultSpec`\\ s for one sweep.
+
+    Frozen and built from primitives only, so a plan pickles into worker
+    processes, fingerprints into journal keys, and serializes into replay
+    bundles without special cases.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def runtime_faults(
+        self,
+        benchmark: str,
+        part: str,
+        attempt: int,
+        clusters: Optional[int] = None,
+    ) -> list[RuntimeFault]:
+        """Live injectors for the active specs.
+
+        ``clusters`` (the target machine's cluster count) drops specs
+        aimed at a cluster the machine does not have — a dodged fault,
+        like a trace corruption on a too-short trace: chaos schedules
+        are machine-agnostic, and a single-cluster baseline simply has
+        no cluster 1 to sabotage.
+        """
+        return [
+            spec.build_runtime()
+            for spec in self.specs
+            if spec.kind in RUNTIME_FAULT_KINDS
+            and spec.active(benchmark, part, attempt)
+            and (clusters is None or spec.cluster < clusters)
+        ]
+
+    def apply_trace_faults(
+        self,
+        benchmark: str,
+        part: str,
+        attempt: int,
+        trace: Sequence[DynamicInstruction],
+    ) -> Sequence[DynamicInstruction]:
+        for spec in self.specs:
+            if spec.kind in TRACE_FAULT_KINDS and spec.active(
+                benchmark, part, attempt
+            ):
+                trace = spec.apply_trace(trace)
+        return trace
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # ------------------------------------------------------- serialization
+    def as_dict(self) -> dict:
+        return {"specs": [dataclasses.asdict(spec) for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            specs=tuple(FaultSpec(**spec) for spec in data.get("specs", ()))
+        )

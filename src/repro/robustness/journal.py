@@ -1,0 +1,286 @@
+"""Append-only JSONL run journal: crash-safe sweep progress + resume.
+
+A sweep that dies — SIGKILL, OOM, power loss — must not throw away its
+completed rows.  Every sweep driver (Table 2, ablations, Figure 6,
+reassignment, chaos) can attach a :class:`RunJournal` rooted at a *run
+directory*::
+
+    run-dir/
+        journal.jsonl          one JSON record per completed/failed row,
+                               appended and fsync'd before the sweep moves on
+        artifacts/<key>.pkl    pickled row results too rich for JSON
+                               (e.g. a full BenchmarkEvaluation)
+        bundles/<key>.json     replay bundles for unrecoverable failures
+
+The journal is *content-addressed*: each record carries a fingerprint of
+every input that determines the row's value (via
+:func:`repro.perf.fingerprint.fingerprint`).  ``--resume <run-dir>``
+reuses a journaled row only when its key **and** fingerprint match the
+current request, so resuming after editing options recomputes rather
+than serving stale rows — and a resumed table is bit-identical to an
+uninterrupted run, because the reused rows *are* the original results.
+
+Append durability: each record is one ``write()`` of one line followed
+by ``flush`` + ``fsync``.  A crash mid-append leaves at most one torn
+trailing line, which the reader detects and ignores (the row is simply
+recomputed on resume).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import re
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.errors import ConfigError
+from repro.robustness.atomicio import atomic_write_bytes
+
+#: Schema version stamped on every journal record.
+JOURNAL_SCHEMA = 1
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _slug(key: str) -> str:
+    """Filesystem-safe name for a row key."""
+    return _SLUG_RE.sub("_", key).strip("_") or "row"
+
+
+def options_fingerprint(options: Any) -> str:
+    """Fingerprint of every :class:`EvaluationOptions` field that can
+    change a row's *value*.
+
+    Excluded on purpose: ``jobs`` (parallel runs are bit-identical to
+    serial), ``cache`` (a cache hit returns the same artifact), and
+    ``retry`` (retries only repeat the same deterministic computation).
+    Included: the fault plan — an injected fault absolutely changes the
+    outcome, so a chaos journal can never satisfy a clean resume.
+    """
+    from repro.perf.fingerprint import fingerprint
+
+    return fingerprint(
+        (
+            "journal-options/v1",
+            options.trace_length,
+            options.trace_seed,
+            options.partitioner,
+            options.single_config,
+            options.dual_config,
+            options.dual_assignment,
+            options.compiler,
+            options.validate,
+            options.self_check,
+            options.cycle_budget,
+            options.fault_plan,
+        )
+    )
+
+
+@dataclass
+class JournalEntry:
+    """One journaled row outcome."""
+
+    key: str
+    status: str  # "completed" | "failed"
+    fingerprint: str
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    #: JSON-native row payload (small results live inline).
+    payload: Optional[dict] = None
+    #: Relative path of a pickled artifact under the run dir.
+    artifact: Optional[str] = None
+    #: Error record for failed rows: type/message/context.
+    error: Optional[dict] = None
+    #: Relative path of the replay bundle for failed rows.
+    bundle: Optional[str] = None
+    timestamp: str = ""
+    schema: int = JOURNAL_SCHEMA
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+
+class RunJournal:
+    """The append-only journal of one run directory.
+
+    Opening an existing run directory loads its surviving records (the
+    resume path); records appended afterwards land in the same file.
+    """
+
+    def __init__(self, run_dir: Union[str, os.PathLike]) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.run_dir / "journal.jsonl"
+        #: Latest surviving entry per key, in journal order.
+        self._entries: dict[str, JournalEntry] = {}
+        #: Torn/corrupt lines skipped while loading (diagnostics).
+        self.skipped_lines = 0
+        self._load()
+        self._fh: Optional[io.TextIOWrapper] = None
+
+    # ------------------------------------------------------------- loading
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    entry = JournalEntry(
+                        **{
+                            k: v
+                            for k, v in record.items()
+                            if k in JournalEntry.__dataclass_fields__
+                        }
+                    )
+                    if not entry.key or entry.status not in ("completed", "failed"):
+                        raise ValueError("incomplete journal record")
+                except (ValueError, TypeError):
+                    # A torn tail from a killed writer (or hand-edited
+                    # garbage): the row is recomputed, never trusted.
+                    self.skipped_lines += 1
+                    continue
+                self._entries[entry.key] = entry
+
+    # ------------------------------------------------------------ appending
+    def _append(self, entry: JournalEntry) -> None:
+        if self._fh is None:
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(asdict(entry), sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._entries[entry.key] = entry
+
+    def record_completed(
+        self,
+        key: str,
+        fingerprint: str,
+        *,
+        payload: Optional[dict] = None,
+        artifact_value: Any = None,
+        attempts: int = 1,
+        elapsed_s: float = 0.0,
+    ) -> JournalEntry:
+        """Journal a completed row; ``artifact_value`` is pickled durably
+        to ``artifacts/`` and referenced by relative path."""
+        artifact = None
+        if artifact_value is not None:
+            artifact = f"artifacts/{_slug(key)}.pkl"
+            atomic_write_bytes(
+                self.run_dir / artifact,
+                pickle.dumps(artifact_value, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        entry = JournalEntry(
+            key=key,
+            status="completed",
+            fingerprint=fingerprint,
+            attempts=attempts,
+            elapsed_s=round(elapsed_s, 6),
+            payload=payload,
+            artifact=artifact,
+            timestamp=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        )
+        self._append(entry)
+        return entry
+
+    def record_failed(
+        self,
+        key: str,
+        fingerprint: str,
+        *,
+        error: dict,
+        attempts: int = 1,
+        elapsed_s: float = 0.0,
+        bundle: Optional[str] = None,
+    ) -> JournalEntry:
+        entry = JournalEntry(
+            key=key,
+            status="failed",
+            fingerprint=fingerprint,
+            attempts=attempts,
+            elapsed_s=round(elapsed_s, 6),
+            error=error,
+            bundle=bundle,
+            timestamp=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        )
+        self._append(entry)
+        return entry
+
+    # -------------------------------------------------------------- lookup
+    def entries(self) -> list[JournalEntry]:
+        return list(self._entries.values())
+
+    def entry(self, key: str) -> Optional[JournalEntry]:
+        return self._entries.get(key)
+
+    def completed(self, key: str, fingerprint: str) -> Optional[JournalEntry]:
+        """The journaled completed entry for ``key`` — only if its inputs
+        fingerprint matches the current request."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.completed and entry.fingerprint == fingerprint:
+            return entry
+        return None
+
+    def load_artifact(self, entry: Optional[JournalEntry]) -> Any:
+        """Unpickle an entry's artifact; ``None`` on any damage (the row
+        is then recomputed — a corrupt sidecar must never abort resume)."""
+        if entry is None or entry.artifact is None:
+            return None
+        try:
+            with (self.run_dir / entry.artifact).open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+
+    # --------------------------------------------------------------- paths
+    def bundle_path(self, key: str) -> Path:
+        """Where a replay bundle for ``key`` belongs (relative: bundles/)."""
+        return self.run_dir / "bundles" / f"{_slug(key)}.json"
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_journal(run_dir: Union[str, os.PathLike, None]) -> Optional[RunJournal]:
+    """CLI convenience: a journal for ``--resume DIR``, or ``None``.
+
+    Rejects a path that exists but is not a directory (a typo'd file
+    path would otherwise shadow every row).
+    """
+    if run_dir is None:
+        return None
+    path = Path(run_dir)
+    if path.exists() and not path.is_dir():
+        raise ConfigError(
+            f"--resume target {str(path)!r} exists and is not a directory",
+            run_dir=str(path),
+        )
+    return RunJournal(path)
+
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JournalEntry",
+    "RunJournal",
+    "open_journal",
+    "options_fingerprint",
+]

@@ -1,0 +1,251 @@
+"""Self-contained replay bundles: failures you can re-run, not just read.
+
+When a sweep row fails unrecoverably (permanent failure, or a transient
+one that exhausted its retry budget), the orchestration layer serializes
+everything needed to re-create the failure *deterministically* into one
+JSON file:
+
+* the benchmark name (resolved through the ``SPEC92`` registry),
+* the failing evaluation part and attempt index,
+* the full :class:`~repro.experiments.harness.EvaluationOptions`
+  (pickled — partitioner instance, machine configs, compiler options),
+* the declarative fault-injection plan, both machine-readable (inside
+  the pickled options) and human-readable (as JSON, for eyeballs),
+* the typed error that was observed (type, message, context).
+
+``repro replay <bundle.json>`` rebuilds the run and asserts it dies the
+same way — the difference between "a worker failed once under --jobs 8"
+and a unit-test-sized reproduction on a developer's machine.  The chaos
+harness replays every bundle it generates, so the guarantee is
+continuously exercised, not aspirational.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+from repro.errors import ConfigError, ReproError
+from repro.robustness.atomicio import atomic_write_json
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import EvaluationOptions
+
+#: Bump when the bundle layout changes incompatibly.
+BUNDLE_SCHEMA = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Context dicts can carry arbitrary objects; degrade them to repr."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+@dataclass
+class ReplayBundle:
+    """Everything needed to deterministically re-run one failure."""
+
+    benchmark: str
+    #: Failing evaluation part (``None`` = the whole evaluation, e.g. a
+    #: failure before any part ran).
+    part: Optional[str]
+    #: The attempt index that finally failed (fault specs are
+    #: attempt-sensitive, so replay must run the same attempt).
+    attempt: int
+    error_type: str
+    error_message: str
+    error_context: dict
+    #: base64(pickle(EvaluationOptions)) with cache/jobs/retry stripped.
+    options_pickle: str
+    #: Human-readable copy of the fault plan (authoritative copy rides in
+    #: the pickled options).
+    fault_plan: Optional[dict] = None
+    trace_length: int = 0
+    trace_seed: int = 0
+    created: str = ""
+    schema: int = BUNDLE_SCHEMA
+
+    # ------------------------------------------------------------ contents
+    def options(self) -> "EvaluationOptions":
+        try:
+            return pickle.loads(base64.b64decode(self.options_pickle))
+        except Exception as error:
+            raise ConfigError(
+                "replay bundle's pickled options are unreadable "
+                f"({type(error).__name__}: {error}); the bundle was written "
+                "by an incompatible build",
+                benchmark=self.benchmark,
+            ) from None
+
+    # ------------------------------------------------------------- file IO
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        atomic_write_json(path, self.as_dict())
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ReplayBundle":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ConfigError(
+                f"cannot read replay bundle {str(path)!r}: {error}",
+                path=str(path),
+            ) from None
+        except ValueError:
+            raise ConfigError(
+                f"replay bundle {str(path)!r} is not valid JSON",
+                path=str(path),
+            ) from None
+        if not isinstance(data, dict) or "benchmark" not in data:
+            raise ConfigError(
+                f"{str(path)!r} is not a replay bundle", path=str(path)
+            )
+        schema = data.get("schema")
+        if schema != BUNDLE_SCHEMA:
+            raise ConfigError(
+                f"replay bundle schema {schema!r} is not supported "
+                f"(expected {BUNDLE_SCHEMA})",
+                path=str(path),
+            )
+        fields = {
+            k: v for k, v in data.items() if k in cls.__dataclass_fields__
+        }
+        return cls(**fields)
+
+
+def capture_bundle(
+    benchmark: str,
+    options: "EvaluationOptions",
+    *,
+    error_type: str,
+    error_message: str,
+    error_context: Optional[dict] = None,
+    part: Optional[str] = None,
+    attempt: int = 0,
+) -> ReplayBundle:
+    """Freeze a failing run into a bundle.
+
+    The embedded options are normalized to the deterministic serial
+    shape: no cache, one worker, no retry policy — replay is a single
+    attempt at the recorded attempt index.
+    """
+    sealed = replace(options, cache=None, jobs=1, retry=None, fault_attempt=0)
+    return ReplayBundle(
+        benchmark=benchmark,
+        part=part,
+        attempt=attempt,
+        error_type=error_type,
+        error_message=error_message,
+        error_context=_jsonable(error_context or {}),
+        options_pickle=base64.b64encode(
+            pickle.dumps(sealed, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii"),
+        fault_plan=(
+            options.fault_plan.as_dict() if options.fault_plan else None
+        ),
+        trace_length=options.trace_length,
+        trace_seed=options.trace_seed,
+        created=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    )
+
+
+@dataclass
+class ReplayResult:
+    """The verdict of re-running a bundle."""
+
+    bundle: ReplayBundle
+    reproduced: bool
+    actual_type: Optional[str]
+    actual_message: Optional[str]
+
+    def format(self) -> str:
+        b = self.bundle
+        lines = [
+            f"replay: {b.benchmark}"
+            + (f" part={b.part}" if b.part else "")
+            + f" attempt={b.attempt}",
+            f"  expected: {b.error_type}: {b.error_message}",
+        ]
+        if self.actual_type is None:
+            lines.append("  actual:   run completed without error")
+        else:
+            lines.append(f"  actual:   {self.actual_type}: {self.actual_message}")
+        lines.append(f"  reproduced: {self.reproduced}")
+        return "\n".join(lines)
+
+
+def replay(bundle: ReplayBundle) -> ReplayResult:
+    """Deterministically re-run a bundle and compare the failure.
+
+    Reproduced means the typed error class *and* its message match the
+    recorded ones — same failure, not merely "it also failed".
+    """
+    from repro.experiments.harness import (
+        evaluate_workload,
+        evaluate_workload_part,
+    )
+    from repro.workloads.spec92 import SPEC92
+
+    if bundle.benchmark not in SPEC92:
+        raise ConfigError(
+            f"replay bundle names unknown benchmark {bundle.benchmark!r}",
+            benchmark=bundle.benchmark,
+        )
+    options = replace(
+        bundle.options(),
+        cache=None,
+        jobs=1,
+        retry=None,
+        fault_attempt=bundle.attempt,
+    )
+    workload = SPEC92[bundle.benchmark]()
+    actual_type: Optional[str] = None
+    actual_message: Optional[str] = None
+    try:
+        if bundle.part is not None:
+            evaluate_workload_part(workload, bundle.part, options)
+        else:
+            evaluate_workload(workload, options)
+    except ReproError as error:
+        actual_type = type(error).__name__
+        actual_message = error.message
+    reproduced = (
+        actual_type == bundle.error_type
+        and actual_message == bundle.error_message
+    )
+    return ReplayResult(
+        bundle=bundle,
+        reproduced=reproduced,
+        actual_type=actual_type,
+        actual_message=actual_message,
+    )
+
+
+def replay_file(path: Union[str, Path]) -> ReplayResult:
+    """Load + replay in one call (the CLI's entry point)."""
+    return replay(ReplayBundle.load(path))
+
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "ReplayBundle",
+    "ReplayResult",
+    "capture_bundle",
+    "replay",
+    "replay_file",
+]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.registers import RegisterAssignment
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError
 from repro.isa.instructions import MachineInstruction
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import int_reg
@@ -117,8 +117,20 @@ class TestSnapshotRestore:
         processor.advance(max_steps=5)
         checkpoint = snapshot(processor)
         checkpoint.version = CHECKPOINT_VERSION + 1
-        with pytest.raises(SimulationError, match="version"):
+        with pytest.raises(ConfigError, match="version"):
             restore(checkpoint)
+
+    def test_config_fingerprint_mismatch_rejected(self):
+        from repro.uarch.config import single_cluster_config
+
+        processor = fresh_processor()
+        processor.start(make_trace(40))
+        processor.advance(max_steps=5)
+        checkpoint = snapshot(processor)
+        # Same machine resumes fine; a different machine is refused.
+        restore(checkpoint, expected_config=dual_cluster_config())
+        with pytest.raises(ConfigError, match="different machine config"):
+            restore(checkpoint, expected_config=single_cluster_config())
 
     def test_save_and_load(self, tmp_path):
         processor = fresh_processor()
@@ -130,3 +142,34 @@ class TestSnapshotRestore:
         loaded = load_checkpoint(path)
         assert loaded.cycle == checkpoint.cycle
         assert loaded.instructions_retired == checkpoint.instructions_retired
+        assert loaded.config_fingerprint == checkpoint.config_fingerprint
+
+    def test_bad_header_rejected_before_unpickling(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "stale.ckpt"
+        # A headerless raw pickle — the v1 on-disk format.
+        path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(ConfigError, match="bad header"):
+            load_checkpoint(str(path))
+
+    def test_wrong_payload_type_rejected(self, tmp_path):
+        import pickle
+
+        from repro.robustness.checkpoint import CHECKPOINT_MAGIC
+
+        path = tmp_path / "odd.ckpt"
+        path.write_bytes(CHECKPOINT_MAGIC + pickle.dumps([1, 2, 3]))
+        with pytest.raises(ConfigError, match="not a SimulationCheckpoint"):
+            load_checkpoint(str(path))
+
+    def test_truncated_file_rejected(self, tmp_path):
+        processor = fresh_processor()
+        processor.start(make_trace(40))
+        processor.advance(max_steps=5)
+        path = str(tmp_path / "torn.ckpt")
+        save_checkpoint(snapshot(processor), path)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        with pytest.raises(ConfigError, match="corrupt"):
+            load_checkpoint(path)

@@ -1,0 +1,169 @@
+"""Retry policy: deterministic backoff, classification, attempt budgets."""
+
+import pytest
+
+from repro.errors import (
+    CompileError,
+    ConfigError,
+    InvariantViolation,
+    SimulationError,
+    TraceError,
+    WatchdogTimeout,
+)
+from repro.robustness.retry import (
+    PERMANENT,
+    TRANSIENT,
+    RetryPolicy,
+    backoff_schedule,
+    classify_error,
+    run_with_retry,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "error, expected",
+        [
+            (ConfigError("bad config"), PERMANENT),
+            (TraceError("bad trace"), PERMANENT),
+            (CompileError("bad compile"), PERMANENT),
+            (SimulationError("sim died"), TRANSIENT),
+            (WatchdogTimeout("budget blown"), TRANSIENT),
+            (InvariantViolation("state corrupt"), TRANSIENT),
+            (RuntimeError("who knows"), PERMANENT),
+        ],
+    )
+    def test_type_based_defaults(self, error, expected):
+        assert classify_error(error) == expected
+
+    def test_context_override_wins(self):
+        assert classify_error(SimulationError("x", transient=False)) == PERMANENT
+        assert classify_error(ConfigError("x", transient=True)) == TRANSIENT
+
+
+class TestBackoffSchedule:
+    def test_deterministic_per_seed_and_token(self):
+        policy = RetryPolicy(max_attempts=5, seed=42)
+        assert backoff_schedule(policy, "compress:single") == backoff_schedule(
+            policy, "compress:single"
+        )
+
+    def test_token_and_seed_decorrelate(self):
+        policy = RetryPolicy(max_attempts=5, seed=42)
+        other_token = backoff_schedule(policy, "ora:single")
+        other_seed = backoff_schedule(
+            RetryPolicy(max_attempts=5, seed=43), "compress:single"
+        )
+        base = backoff_schedule(policy, "compress:single")
+        assert base != other_token
+        assert base != other_seed
+
+    def test_shape(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.1, multiplier=2.0, max_delay=0.5,
+            jitter=0.0,
+        )
+        schedule = backoff_schedule(policy, "t")
+        assert schedule == [0.1, 0.2, 0.4]
+
+    def test_max_delay_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, multiplier=10.0, max_delay=2.0,
+            jitter=0.0,
+        )
+        assert max(backoff_schedule(policy, "t")) == 2.0
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, multiplier=1.0, max_delay=1.0,
+            jitter=0.5,
+        )
+        for delay in backoff_schedule(policy, "t"):
+            assert 0.5 <= delay <= 1.5
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestRunWithRetry:
+    def test_transient_retried_to_success(self):
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 2:
+                raise SimulationError("flake")
+            return "ok"
+
+        outcome = run_with_retry(
+            flaky, RetryPolicy(max_attempts=3, base_delay=0.0), sleep=None
+        )
+        assert outcome.value == "ok"
+        assert outcome.retried
+        assert calls == [0, 1, 2]
+        assert [a.error_type for a in outcome.attempts] == [
+            "SimulationError", "SimulationError", None,
+        ]
+
+    def test_permanent_fails_immediately(self):
+        calls = []
+
+        def broken(attempt):
+            calls.append(attempt)
+            raise ConfigError("inputs are wrong")
+
+        with pytest.raises(ConfigError) as info:
+            run_with_retry(
+                broken, RetryPolicy(max_attempts=5, base_delay=0.0), sleep=None
+            )
+        assert calls == [0]
+        assert info.value.context["attempts"] == 1
+        assert info.value.context["failure_class"] == PERMANENT
+
+    def test_budget_exhaustion_reraises_with_history(self):
+        def always(attempt):
+            raise SimulationError("never clears")
+
+        with pytest.raises(SimulationError) as info:
+            run_with_retry(
+                always, RetryPolicy(max_attempts=3, base_delay=0.0), sleep=None
+            )
+        assert info.value.context["attempts"] == 3
+        assert info.value.context["failure_class"] == TRANSIENT
+
+    def test_no_policy_means_single_attempt(self):
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            raise SimulationError("flake")
+
+        with pytest.raises(SimulationError):
+            run_with_retry(flaky, None, sleep=None)
+        assert calls == [0]
+
+    def test_sleeps_follow_the_schedule(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.25, seed=9)
+        expected = backoff_schedule(policy, "tok")
+        slept = []
+
+        def flaky(attempt):
+            if attempt < 2:
+                raise SimulationError("flake")
+            return attempt
+
+        run_with_retry(flaky, policy, token="tok", sleep=slept.append)
+        assert slept == expected[:2]
+
+    def test_attempt_index_passed_to_fn(self):
+        seen = []
+
+        def spy(attempt):
+            seen.append(attempt)
+            return attempt
+
+        assert run_with_retry(spy, RetryPolicy(max_attempts=4)).value == 0
+        assert seen == [0]

@@ -12,13 +12,47 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro bench [--quick] [--jobs N] [--output BENCH_table2.json]
     python -m repro replay BUNDLE.json
     python -m repro chaos [--quick] [--seed N] [--rounds N] [--run-dir DIR]
+    python -m repro trace BENCHMARK [--machine single|dual|dual-local]
+                          [--window A B] [--jsonl FILE]
+    python -m repro stats BENCHMARK [--machine ...] [--json FILE] [--prom FILE]
+
+Diagnostics go through stdlib ``logging`` (logger namespace ``repro.*``):
+``-v`` turns on debug detail, ``--quiet`` silences everything below
+errors.  Results always go to stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Optional, Sequence
+
+log = logging.getLogger("repro.cli")
+
+
+def setup_logging(verbosity: int = 0, quiet: bool = False) -> None:
+    """Configure the ``repro`` logger tree for one CLI invocation.
+
+    Diagnostics (cache stats, sweep heartbeats, warnings) flow through
+    ``logging`` to stderr; ``-v`` selects DEBUG with logger-name
+    prefixes, ``--quiet`` drops everything below ERROR.  The handler is
+    rebuilt on every call so it always binds the *current*
+    ``sys.stderr`` (pytest's capture swaps it between tests).
+    """
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    if verbosity >= 1:
+        level = logging.DEBUG
+        handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    else:
+        level = logging.ERROR if quiet else logging.INFO
+        handler.setFormatter(logging.Formatter("%(message)s"))
+    root.setLevel(level)
+    root.addHandler(handler)
+    root.propagate = False
 
 
 def _make_cache(args: argparse.Namespace):
@@ -67,7 +101,7 @@ def _evaluation_options(args: argparse.Namespace):
 
 def _report_cache(options) -> None:
     if options.cache is not None:
-        print(options.cache.stats.format(), file=sys.stderr)
+        log.info("%s", options.cache.stats.format())
 
 
 def _cmd_table2(args: argparse.Namespace) -> None:
@@ -83,10 +117,9 @@ def _cmd_table2(args: argparse.Namespace) -> None:
     print(format_table2(result, detailed=args.detailed))
     _report_cache(options)
     if result.failures:
-        print(
-            f"warning: {len(result.failures)} benchmark(s) failed; see the "
-            "failure table above",
-            file=sys.stderr,
+        log.warning(
+            "warning: %d benchmark(s) failed; see the failure table above",
+            len(result.failures),
         )
 
 
@@ -183,6 +216,94 @@ def _cmd_ablations(args: argparse.Namespace) -> None:
             journal.close()
 
 
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from repro.obs.runner import observe_benchmark
+    from repro.uarch.pipeline_view import render_pipeline
+
+    run = observe_benchmark(
+        args.benchmark,
+        args.machine,
+        trace_length=args.trace_length,
+        record_events=True,
+        jsonl=args.jsonl,
+        sample_interval=None,
+        attribute_stalls=False,
+        cache=_make_cache(args),
+    )
+    first, last = args.window
+    print(f"{args.benchmark} on {run.result.config_name}: {run.result.cycles} cycles")
+    print(
+        render_pipeline(
+            run.recorder,
+            run.trace,
+            first_seq=first,
+            last_seq=last,
+            max_width=args.max_width,
+        )
+    )
+    if args.jsonl:
+        log.info(
+            "streamed %d events to %s", run.recorder.recorded, args.jsonl
+        )
+
+
+def _cmd_stats(args: argparse.Namespace) -> None:
+    from repro.errors import ConfigError
+    from repro.obs import stall
+    from repro.obs.export import stats_document, write_prometheus, write_stats_json
+    from repro.obs.runner import observe_benchmark
+    from repro.perf.cache import ArtifactCache
+
+    machines = ["single", "dual"] if args.machine == "both" else [args.machine]
+    if args.prom and len(machines) != 1:
+        raise ConfigError(
+            "--prom exports one run's metrics; pick one with --machine "
+            "single|dual|dual-local"
+        )
+    # One shared cache: the two machines reuse the same native binary
+    # and trace, so the second run skips compile + tracegen.
+    cache = _make_cache(args) or ArtifactCache()
+    runs = [
+        observe_benchmark(
+            args.benchmark,
+            machine,
+            trace_length=args.trace_length,
+            sample_interval=args.interval,
+            cache=cache,
+        )
+        for machine in machines
+    ]
+    for run in runs:
+        print(f"== {args.benchmark} on {run.result.config_name} ==")
+        print(run.stats.summary())
+        print()
+        print(stall.format_report(run.stats.stall_attribution, label=run.machine))
+        print()
+    if len(runs) >= 2:
+        print(
+            stall.diff_reports(
+                runs[0].stats.stall_attribution,
+                runs[1].stats.stall_attribution,
+                runs[0].machine,
+                runs[1].machine,
+            )
+        )
+    if args.json:
+        write_stats_json(
+            args.json, stats_document(args.benchmark, [r.run_payload() for r in runs])
+        )
+        log.info("wrote %s", args.json)
+    if args.prom:
+        write_prometheus(args.prom, runs[0].metrics.registry)
+        log.info("wrote %s", args.prom)
+    _report_cache_stats(cache)
+
+
+def _report_cache_stats(cache) -> None:
+    if cache is not None:
+        log.info("%s", cache.stats.format())
+
+
 def _add_perf_flags(
     parser: argparse.ArgumentParser, cache_flags: bool = True
 ) -> None:
@@ -244,11 +365,30 @@ def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_logging_flags(parser: argparse.ArgumentParser, suppress: bool = False) -> None:
+    """``-v``/``--quiet`` on the root parser and (suppressed-default)
+    every subparser, so the flags work on either side of the command."""
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=argparse.SUPPRESS if suppress else 0,
+        help="debug-level diagnostics on stderr (logger-name prefixed)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        default=argparse.SUPPRESS if suppress else False,
+        help="silence diagnostics below errors (results still print)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multicluster Architecture reproduction (MICRO-30 1997)",
     )
+    _add_logging_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     t2 = sub.add_parser("table2", help="regenerate Table 2")
@@ -371,6 +511,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep journals, bundles, and health.json here for post-mortems",
     )
     ch.set_defaults(func=_cmd_chaos)
+
+    tr = sub.add_parser(
+        "trace",
+        help="pipeline chart of one benchmark window (flight recorder)",
+    )
+    tr.add_argument("benchmark")
+    tr.add_argument(
+        "--machine",
+        choices=["single", "dual", "dual-local"],
+        default="dual",
+        help="which Section 4 machine/binary to observe",
+    )
+    tr.add_argument("--trace-length", type=int, default=2000)
+    tr.add_argument(
+        "--window",
+        type=int,
+        nargs=2,
+        default=(0, 24),
+        metavar=("FIRST", "LAST"),
+        help="dynamic-instruction sequence window to chart",
+    )
+    tr.add_argument("--max-width", type=int, default=64, metavar="COLS")
+    tr.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="FILE",
+        help="additionally stream every pipeline event to FILE (JSONL)",
+    )
+    tr.add_argument("--cache-dir", default=None, metavar="DIR")
+    tr.set_defaults(func=_cmd_trace)
+
+    st = sub.add_parser(
+        "stats",
+        help="observed run: stats summary, stall attribution, metrics export",
+    )
+    st.add_argument("benchmark")
+    st.add_argument(
+        "--machine",
+        choices=["single", "dual", "dual-local", "both"],
+        default="both",
+        help="machine to observe ('both' = single + dual, with a diff)",
+    )
+    st.add_argument("--trace-length", type=int, default=20_000)
+    st.add_argument(
+        "--interval",
+        type=int,
+        default=100,
+        metavar="N",
+        help="metrics sampling interval in cycles",
+    )
+    st.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the schema-validated repro-stats JSON document to FILE",
+    )
+    st.add_argument(
+        "--prom",
+        default=None,
+        metavar="FILE",
+        help="write Prometheus text-format metrics to FILE "
+        "(single machine only)",
+    )
+    st.add_argument("--cache-dir", default=None, metavar="DIR")
+    st.set_defaults(func=_cmd_stats)
+
+    for command_parser in set(sub.choices.values()):
+        _add_logging_flags(command_parser, suppress=True)
     return parser
 
 
@@ -422,7 +630,7 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
     report = run_chaos(config, run_dir=args.run_dir)
     print(report.format())
     if args.run_dir:
-        print(f"health report: {args.run_dir}/health.json", file=sys.stderr)
+        log.info("health report: %s/health.json", args.run_dir)
     raise SystemExit(report.exit_code)
 
 
@@ -453,6 +661,9 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
+    setup_logging(
+        getattr(args, "verbose", 0) or 0, quiet=getattr(args, "quiet", False)
+    )
     try:
         args.func(args)
     except ReproError as error:

@@ -167,6 +167,11 @@ class EvaluationOptions:
     #: Which sweep attempt this evaluation is (threaded by the retry
     #: wrapper so transient fault specs can clear between attempts).
     fault_attempt: int = 0
+    #: Seconds between sweep heartbeat lines (``obs.heartbeat``) during
+    #: ``--jobs`` sweeps: ``None`` disables them, ``0`` emits after
+    #: every row (deterministic; tests).  Excluded from
+    #: ``options_fingerprint`` — heartbeats never change row values.
+    heartbeat_interval: Optional[float] = 5.0
 
     def apply_robustness(self, config: ProcessorConfig) -> ProcessorConfig:
         """Thread the self-check / cycle-budget knobs into a machine config."""

@@ -186,6 +186,20 @@ def run_table2(
     # run shape, whichever path computed the row.
     sealed_options = replace(options, jobs=1, cache=None)
 
+    # Parallel sweeps report progress (rows done, ETA, cache hit rate,
+    # journal lag) and journal each heartbeat durably.
+    heartbeat = None
+    if options.jobs != 1 and pending:
+        from repro.obs.heartbeat import Heartbeat
+
+        heartbeat = Heartbeat(
+            len(pending),
+            label="table2",
+            interval_s=options.heartbeat_interval,
+            journal=journal,
+            cache=options.cache,
+        )
+
     def record(name: str, outcome, attempts: int, elapsed_s: float = 0.0) -> None:
         if isinstance(outcome, BenchmarkFailure):
             failures_by_name[name] = outcome
@@ -203,6 +217,8 @@ def run_table2(
                     attempts=attempts,
                     elapsed_s=elapsed_s,
                 )
+        if heartbeat is not None:
+            heartbeat.note(name)
 
     if options.jobs != 1 and len(pending) > 0:
         from repro.perf.parallel import run_table2_parallel

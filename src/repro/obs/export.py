@@ -1,0 +1,233 @@
+"""Exporters: schema-validated stats JSON and Prometheus text format.
+
+Two machine-readable surfaces for any observed run:
+
+* **JSON** — one ``repro-stats`` document per benchmark (schema below),
+  written atomically (``robustness.atomicio``) and validated by
+  :func:`validate_stats_payload` — a hand-rolled structural check (no
+  third-party schema library in the image) that also *re-derives* the
+  stall-accounting identity, so CI's obs-smoke job proves the numbers
+  balance, not just that keys exist.
+
+* **Prometheus text exposition** — counters/gauges/histograms of a
+  :class:`~repro.obs.metrics.MetricsRegistry` rendered in the standard
+  ``# HELP``/``# TYPE`` format, so a run's final metrics can be dropped
+  into any Prometheus/Grafana tooling (or just grepped).
+
+JSON document shape (``STATS_SCHEMA`` = 1)::
+
+    {
+      "schema": 1,
+      "kind": "repro-stats",
+      "benchmark": "bench-name",
+      "runs": [
+        {
+          "config": "single-8way",
+          "machine": "single",
+          "trace_length": 20000,
+          "stats": { ... SimulationStats.as_dict() ... }
+        },
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Union
+
+from repro.errors import ConfigError
+from repro.obs import stall
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.robustness.atomicio import atomic_write_json, atomic_write_text
+
+#: Version stamped on exported stats documents.
+STATS_SCHEMA = 1
+
+
+class SchemaError(ConfigError):
+    """An exported document does not match the published schema."""
+
+
+# ---------------------------------------------------------------- building
+def stats_document(benchmark: str, runs: list[dict]) -> dict:
+    """Assemble the exported document from per-run payloads."""
+    return {
+        "schema": STATS_SCHEMA,
+        "kind": "repro-stats",
+        "benchmark": benchmark,
+        "runs": runs,
+    }
+
+
+def write_stats_json(path: Union[str, os.PathLike], document: dict) -> None:
+    """Validate, then atomically write a stats document."""
+    validate_stats_payload(document)
+    atomic_write_json(path, document)
+
+
+# -------------------------------------------------------------- validation
+def _check(condition: bool, where: str, message: str) -> None:
+    if not condition:
+        raise SchemaError(f"stats document invalid at {where}: {message}")
+
+
+def _check_int(value, where: str, minimum: int = 0) -> None:
+    _check(
+        isinstance(value, int) and not isinstance(value, bool) and value >= minimum,
+        where,
+        f"expected integer >= {minimum}, got {value!r}",
+    )
+
+
+def validate_stats_payload(document: dict) -> None:
+    """Structural + semantic validation of a ``repro-stats`` document.
+
+    Raises :class:`SchemaError` (an exit-code-carrying
+    :class:`~repro.errors.ConfigError`) on the first violation.  The
+    semantic part re-derives the stall-attribution identity
+    ``stalled + issued == cycles * width`` from the raw numbers.
+    """
+    _check(isinstance(document, dict), "$", "expected an object")
+    _check(document.get("schema") == STATS_SCHEMA, "$.schema",
+           f"expected {STATS_SCHEMA}, got {document.get('schema')!r}")
+    _check(document.get("kind") == "repro-stats", "$.kind",
+           f"expected 'repro-stats', got {document.get('kind')!r}")
+    _check(isinstance(document.get("benchmark"), str) and document["benchmark"],
+           "$.benchmark", "expected a non-empty string")
+    runs = document.get("runs")
+    _check(isinstance(runs, list) and runs, "$.runs", "expected a non-empty list")
+    for i, run in enumerate(runs):
+        where = f"$.runs[{i}]"
+        _check(isinstance(run, dict), where, "expected an object")
+        _check(isinstance(run.get("config"), str) and run["config"],
+               f"{where}.config", "expected a non-empty string")
+        stats = run.get("stats")
+        _check(isinstance(stats, dict), f"{where}.stats", "expected an object")
+        for field in ("cycles", "instructions", "uops_executed"):
+            _check_int(stats.get(field), f"{where}.stats.{field}")
+        clusters = stats.get("clusters")
+        _check(isinstance(clusters, list) and clusters,
+               f"{where}.stats.clusters", "expected a non-empty list")
+        for j, cluster in enumerate(clusters):
+            cwhere = f"{where}.stats.clusters[{j}]"
+            _check(isinstance(cluster, dict), cwhere, "expected an object")
+            _check_int(cluster.get("issued"), f"{cwhere}.issued")
+            _check(isinstance(cluster.get("issued_by_class"), dict),
+                   f"{cwhere}.issued_by_class", "expected an object")
+        attribution = stats.get("stall_attribution")
+        if attribution is not None:
+            awhere = f"{where}.stats.stall_attribution"
+            _check(isinstance(attribution, dict), awhere, "expected an object")
+            causes = attribution.get("causes")
+            _check(isinstance(causes, dict), f"{awhere}.causes",
+                   "expected an object")
+            unknown = set(causes) - set(stall.CAUSES)
+            _check(not unknown, f"{awhere}.causes",
+                   f"unknown causes {sorted(unknown)}")
+            for field in ("cycles", "issue_width", "total_slots", "issued_slots"):
+                _check_int(attribution.get(field), f"{awhere}.{field}")
+            try:
+                stall.check_identity(attribution)
+            except ValueError as exc:
+                raise SchemaError(
+                    f"stats document invalid at {awhere}: {exc}"
+                ) from exc
+            _check(attribution["cycles"] == stats["cycles"], f"{awhere}.cycles",
+                   "attribution cycles disagree with stats.cycles")
+        metrics = stats.get("metrics")
+        if metrics is not None:
+            mwhere = f"{where}.stats.metrics"
+            _check(isinstance(metrics, dict), mwhere, "expected an object")
+            _check_int(metrics.get("interval"), f"{mwhere}.interval", minimum=1)
+            _check(isinstance(metrics.get("final"), dict), f"{mwhere}.final",
+                   "expected an object")
+            series = metrics.get("series")
+            _check(isinstance(series, list), f"{mwhere}.series", "expected a list")
+            last_cycle = -1
+            for k, sample in enumerate(series):
+                swhere = f"{mwhere}.series[{k}]"
+                _check(isinstance(sample, dict), swhere, "expected an object")
+                _check_int(sample.get("cycle"), f"{swhere}.cycle")
+                _check(isinstance(sample.get("values"), dict),
+                       f"{swhere}.values", "expected an object")
+                _check(sample["cycle"] > last_cycle, f"{swhere}.cycle",
+                       "sample cycles must be strictly increasing")
+                last_cycle = sample["cycle"]
+
+
+# -------------------------------------------------------------- prometheus
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _labelled(name: str, labels: dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return f"{name}{{{','.join(parts)}}}" if parts else name
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    by_name: dict[str, list] = {}
+    for metric in registry.collect():
+        by_name.setdefault(metric.name, []).append(metric)
+    lines: list[str] = []
+    for name in sorted(by_name):
+        help_text = registry.help_of(name)
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {registry.type_of(name)}")
+        for metric in by_name[name]:
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(
+                    list(metric.bounds) + [math.inf], metric.counts
+                ):
+                    cumulative += count
+                    le = f'le="{_format_value(float(bound))}"'
+                    lines.append(
+                        f"{_labelled(name + '_bucket', metric.labels, le)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{_labelled(name + '_sum', metric.labels)} "
+                    f"{_format_value(metric.sum)}"
+                )
+                lines.append(
+                    f"{_labelled(name + '_count', metric.labels)} {metric.total}"
+                )
+            else:
+                lines.append(
+                    f"{_labelled(name, metric.labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    path: Union[str, os.PathLike], registry: MetricsRegistry
+) -> None:
+    atomic_write_text(path, prometheus_text(registry))
+
+
+__all__ = [
+    "STATS_SCHEMA",
+    "SchemaError",
+    "prometheus_text",
+    "stats_document",
+    "validate_stats_payload",
+    "write_prometheus",
+    "write_stats_json",
+]

@@ -1,0 +1,186 @@
+"""One-benchmark observed runs: the engine behind ``repro trace``/``stats``.
+
+:func:`observe_benchmark` runs a single bundled benchmark on one machine
+with the flight recorder armed — typed event tracing, metrics sampling,
+and stall attribution — and returns an :class:`ObservedRun` whose
+payload slots straight into the export layer.  It reuses the experiment
+harness's cached compile/trace stages, so the artifacts are the same
+ones a Table 2 sweep would produce (and a shared ``--cache-dir`` makes
+the observation nearly free after a sweep).
+
+Machines:
+
+* ``single`` — native binary on the 1x8 single-cluster baseline;
+* ``dual`` — native binary on the 2x4 dual-cluster machine (Table 2
+  column "none");
+* ``dual-local`` — local-scheduler-rescheduled binary on the dual
+  machine (column "local").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import EvaluationOptions
+
+from repro.core.partition.local import LocalScheduler
+from repro.core.registers import RegisterAssignment
+from repro.errors import ConfigError
+from repro.obs.metrics import DEFAULT_SAMPLE_INTERVAL, PipelineMetrics
+from repro.obs.stall import StallAccounting
+from repro.obs.trace import JsonlSink, MemorySink, RingSink, TraceRecorder, TraceSink
+from repro.perf.cache import ArtifactCache
+from repro.robustness.validate import validate_run, validate_trace_length
+from repro.uarch.config import dual_cluster_config, single_cluster_config
+from repro.uarch.processor import Processor, SimulationResult
+from repro.workloads.spec92 import DEFAULT_TRACE_LENGTH, SPEC92
+
+#: Machine selectors accepted by ``repro trace``/``repro stats``.
+MACHINES = ("single", "dual", "dual-local")
+
+
+@dataclass
+class ObservedRun:
+    """One benchmark run with the flight recorder attached."""
+
+    benchmark: str
+    machine: str
+    result: SimulationResult
+    trace_length: int
+    #: The recorder left on the processor (``None`` when tracing was off).
+    recorder: Optional[TraceRecorder] = None
+    #: The metrics sampler (``None`` when metrics were off).
+    metrics: Optional[PipelineMetrics] = None
+    #: The dynamic-instruction trace the run executed (for disassembly
+    #: labels in pipeline charts).
+    trace: Optional[Sequence] = None
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+    def run_payload(self) -> dict:
+        """The per-run fragment of a ``repro-stats`` document."""
+        return {
+            "config": self.result.config_name,
+            "machine": self.machine,
+            "trace_length": self.trace_length,
+            "stats": self.result.stats.as_dict(),
+        }
+
+
+def observe_benchmark(
+    name: str,
+    machine: str = "single",
+    *,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    trace_seed: int = 7,
+    record_events: bool = False,
+    ring: Optional[int] = None,
+    jsonl=None,
+    sample_interval: Optional[int] = DEFAULT_SAMPLE_INTERVAL,
+    attribute_stalls: bool = True,
+    cache: Optional[ArtifactCache] = None,
+    options: Optional["EvaluationOptions"] = None,
+) -> ObservedRun:
+    """Run ``name`` on ``machine`` with observability attached.
+
+    Args:
+        record_events: keep every pipeline event in memory (the
+            ``repro trace`` chart needs random access to the stream).
+        ring: additionally keep only the last N events in a ring buffer.
+        jsonl: additionally stream every event to this JSONL path.
+        sample_interval: metrics sampling period in cycles; ``None``
+            disables the metrics registry entirely.
+        attribute_stalls: classify every non-issuing slot (exact
+            accounting; see :mod:`repro.obs.stall`).
+        cache: artifact cache to compile/trace through (fresh in-memory
+            one when unset).
+        options: full :class:`EvaluationOptions` override; its
+            ``trace_length``/``trace_seed`` win over the keywords.
+    """
+    from repro.experiments.harness import (
+        EvaluationOptions,
+        _compile_cached,
+        _trace_cached,
+    )
+    from repro.experiments.table2 import _unknown_benchmark
+
+    if machine not in MACHINES:
+        raise ConfigError(
+            f"unknown machine {machine!r}; valid machines: {', '.join(MACHINES)}",
+            benchmark=name,
+        )
+    if name not in SPEC92:
+        raise _unknown_benchmark(name, SPEC92)
+    if options is None:
+        options = EvaluationOptions(
+            trace_length=trace_length, trace_seed=trace_seed
+        )
+    validate_trace_length(options.trace_length, benchmark=name)
+    if cache is None:
+        cache = ArtifactCache()
+    workload = SPEC92[name]()
+
+    if machine == "dual-local":
+        compiled, ckey = _compile_cached(
+            workload,
+            RegisterAssignment.even_odd_dual(),
+            LocalScheduler(),
+            options,
+            cache,
+        )
+    else:
+        compiled, ckey = _compile_cached(
+            workload, RegisterAssignment.single_cluster(), None, options, cache
+        )
+    trace = _trace_cached(workload, compiled, ckey, options, cache)
+
+    if machine == "single":
+        config = options.apply_robustness(
+            options.single_config or single_cluster_config()
+        )
+        assignment = RegisterAssignment.single_cluster()
+    else:
+        config = options.apply_robustness(options.dual_config or dual_cluster_config())
+        assignment = options.dual_assignment or RegisterAssignment.even_odd_dual()
+    validate_run(config, assignment, trace, compiled.machine, benchmark=name)
+
+    processor = Processor(config, assignment)
+    sinks: list[TraceSink] = []
+    if record_events:
+        sinks.append(MemorySink())
+    if ring:
+        sinks.append(RingSink(ring))
+    if jsonl is not None:
+        sinks.append(JsonlSink(jsonl))
+    if sinks:
+        processor.recorder = TraceRecorder(sinks)
+    metrics = None
+    if sample_interval is not None:
+        metrics = PipelineMetrics(interval=sample_interval).attach(processor)
+    if attribute_stalls:
+        processor.stall_acct = StallAccounting(
+            [c.issue.total for c in config.clusters]
+        )
+
+    result = processor.run(trace)
+    if metrics is not None:
+        metrics.finalize(processor)
+        result.stats.metrics = metrics.payload()
+    if processor.recorder is not None:
+        processor.recorder.close()
+    return ObservedRun(
+        benchmark=name,
+        machine=machine,
+        result=result,
+        trace_length=options.trace_length,
+        recorder=processor.recorder,
+        metrics=metrics,
+        trace=trace,
+    )
+
+
+__all__ = ["MACHINES", "ObservedRun", "observe_benchmark"]

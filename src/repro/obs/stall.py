@@ -1,0 +1,275 @@
+"""Stall attribution: classify every issue slot the machine wasted.
+
+Each simulated cycle, a cluster owns ``issue.total`` slots.  A slot is
+either *used* (a uop issued) or *stalled*, and every stalled slot gets
+exactly one cause:
+
+========================  ====================================================
+cause                     meaning
+========================  ====================================================
+``transfer_wait``         a ready uop was blocked on a full operand/result
+                          transfer buffer (the paper's clustering overhead)
+``divider_wait``          a ready FP divide was blocked on the unpipelined
+                          divider
+``class_limit``           a ready uop was blocked by a per-class issue limit
+                          (Table 1's integer/FP/memory/control rows)
+``operand_wait``          the queue held uops, but none (more) were ready —
+                          waiting on operands, loads, or inter-cluster copies
+``queue_full``            the queue was empty because the in-order front end
+                          was blocked on a full dispatch queue
+``regfile_full``          the front end was blocked on an empty free list
+``fetch_starved``         the front end had nothing to deliver (I-cache miss
+                          or mispredicted-branch fetch block)
+``drain``                 the trace is exhausted; the pipeline is draining
+========================  ====================================================
+
+The accounting is *exact* by construction: every stepped cycle calls
+:meth:`StallAccounting.note_issue` once per cluster, every fast-forwarded
+cycle is covered by :meth:`StallAccounting.note_skipped`, so
+
+    sum(causes) + issued_slots == cycles * total_issue_width
+
+holds as an identity, not an approximation.  :func:`check_identity`
+re-derives it from an exported payload (CI runs it), and
+:func:`diff_reports` puts a 1x8 and a 2x4 run side by side — the direct
+explanation of the paper's clustering slowdown.
+
+Overhead discipline: the processor holds ``stall_acct = None`` by
+default; when disabled the issue loop pays three local integer
+increments on already-cold blocked paths and one ``None`` check per
+cluster-cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+#: Stall causes, in attribution priority order (first three are charged
+#: from observed per-uop blocks; the rest classify the leftover slots).
+CAUSES = (
+    "transfer_wait",
+    "divider_wait",
+    "class_limit",
+    "operand_wait",
+    "queue_full",
+    "regfile_full",
+    "fetch_starved",
+    "drain",
+)
+
+CAUSE_DESCRIPTIONS = {
+    "transfer_wait": "ready, blocked on a full transfer buffer",
+    "divider_wait": "ready FP divide, divider busy",
+    "class_limit": "ready, per-class issue limit reached",
+    "operand_wait": "queued uops waiting on operands",
+    "queue_full": "front end blocked on a full dispatch queue",
+    "regfile_full": "front end blocked on an empty free list",
+    "fetch_starved": "front end delivered nothing",
+    "drain": "trace exhausted, pipeline draining",
+}
+
+
+class StallAccounting:
+    """Per-cluster issue-slot ledger attached to a live processor."""
+
+    def __init__(self, widths: Sequence[int]) -> None:
+        self.widths = tuple(widths)
+        self.slots: list[dict[str, int]] = [
+            {cause: 0 for cause in CAUSES} for _ in self.widths
+        ]
+        self.issued_slots = [0] * len(self.widths)
+        #: Dispatch-block cause recorded during the previous cycle's
+        #: dispatch stage.  Issue runs before dispatch within a cycle, so
+        #: at issue time this is the freshest front-end information.
+        self._dispatch_blocked: Optional[str] = None
+
+    # -------------------------------------------------------- front end
+    def begin_dispatch(self) -> None:
+        self._dispatch_blocked = None
+
+    def note_dispatch_block(self, cause: str) -> None:
+        self._dispatch_blocked = cause
+
+    def _upstream_cause(self, draining: bool) -> str:
+        blocked = self._dispatch_blocked
+        if blocked is not None:
+            return blocked
+        return "drain" if draining else "fetch_starved"
+
+    # ------------------------------------------------------------ issue
+    def note_issue(
+        self,
+        cluster: int,
+        issued: int,
+        blocked_buffer: int = 0,
+        blocked_divider: int = 0,
+        class_limited: int = 0,
+        occupied: bool = False,
+        draining: bool = False,
+    ) -> None:
+        """Account one cluster-cycle of the issue stage.
+
+        ``blocked_*`` count distinct ready uops the issue loop observed
+        blocked this cycle; ``occupied`` is whether the dispatch queue
+        still holds uops after issue; ``draining`` is whether the trace
+        is exhausted with nothing left in the front end.
+        """
+        self.issued_slots[cluster] += issued
+        leftover = self.widths[cluster] - issued
+        if leftover <= 0:
+            return
+        slots = self.slots[cluster]
+        for cause, count in (
+            ("transfer_wait", blocked_buffer),
+            ("divider_wait", blocked_divider),
+            ("class_limit", class_limited),
+        ):
+            if count > 0:
+                take = count if count < leftover else leftover
+                slots[cause] += take
+                leftover -= take
+                if leftover == 0:
+                    return
+        if occupied:
+            slots["operand_wait"] += leftover
+        else:
+            slots[self._upstream_cause(draining)] += leftover
+
+    def note_skipped(
+        self, cycles: int, occupied: Sequence[bool], draining: bool
+    ) -> None:
+        """Account ``cycles`` fast-forwarded cycles (no ready uops by
+        the fast-forward precondition, so no per-uop blocks exist)."""
+        if cycles <= 0:
+            return
+        for cluster, width in enumerate(self.widths):
+            slots = self.slots[cluster]
+            if occupied[cluster]:
+                slots["operand_wait"] += cycles * width
+            else:
+                slots[self._upstream_cause(draining)] += cycles * width
+
+    # ----------------------------------------------------------- export
+    def as_dict(self, cycles: int) -> dict:
+        """JSON-native attribution payload for ``cycles`` of simulation."""
+        total_width = sum(self.widths)
+        totals = {cause: 0 for cause in CAUSES}
+        clusters = []
+        for index, width in enumerate(self.widths):
+            slots = self.slots[index]
+            for cause in CAUSES:
+                totals[cause] += slots[cause]
+            clusters.append(
+                {
+                    "width": width,
+                    "issued_slots": self.issued_slots[index],
+                    "stalled_slots": sum(slots.values()),
+                    "causes": dict(slots),
+                }
+            )
+        return {
+            "cycles": cycles,
+            "issue_width": total_width,
+            "total_slots": cycles * total_width,
+            "issued_slots": sum(self.issued_slots),
+            "stalled_slots": sum(totals.values()),
+            "causes": totals,
+            "clusters": clusters,
+        }
+
+
+def check_identity(payload: dict) -> None:
+    """Assert the exact-accounting identity on an exported payload.
+
+    ``stalled + issued == cycles * width``, machine-wide and per
+    cluster.  Raises ``ValueError`` with the discrepancy otherwise.
+    """
+    total = payload["cycles"] * payload["issue_width"]
+    attributed = sum(payload["causes"].values())
+    issued = payload["issued_slots"]
+    if attributed + issued != total:
+        raise ValueError(
+            "stall attribution does not balance: "
+            f"{attributed} stalled + {issued} issued != "
+            f"{payload['cycles']} cycles x {payload['issue_width']} wide "
+            f"= {total} slots (off by {attributed + issued - total})"
+        )
+    if payload["total_slots"] != total or payload["stalled_slots"] != attributed:
+        raise ValueError("stall attribution totals are internally inconsistent")
+    for index, cluster in enumerate(payload["clusters"]):
+        c_total = payload["cycles"] * cluster["width"]
+        c_attr = sum(cluster["causes"].values())
+        if c_attr + cluster["issued_slots"] != c_total:
+            raise ValueError(
+                f"cluster {index} attribution does not balance: "
+                f"{c_attr} stalled + {cluster['issued_slots']} issued "
+                f"!= {c_total} slots"
+            )
+
+
+def format_report(payload: dict, label: str = "") -> str:
+    """Human-readable attribution table for one run."""
+    total = payload["total_slots"] or 1
+    title = f"stall attribution — {label}" if label else "stall attribution"
+    lines = [
+        title,
+        f"  {payload['cycles']} cycles x {payload['issue_width']}-wide = "
+        f"{payload['total_slots']} slots; "
+        f"{payload['issued_slots']} issued "
+        f"({100 * payload['issued_slots'] / total:.1f}%)",
+    ]
+    for cause in CAUSES:
+        count = payload["causes"].get(cause, 0)
+        if count == 0:
+            continue
+        lines.append(
+            f"  {cause:<14} {count:>12}  {100 * count / total:5.1f}%  "
+            f"{CAUSE_DESCRIPTIONS[cause]}"
+        )
+    return "\n".join(lines)
+
+
+def diff_reports(
+    a: dict, b: dict, label_a: str = "single", label_b: str = "dual"
+) -> str:
+    """Side-by-side attribution of two runs (slot fractions).
+
+    The interesting read is the paper's: which causes *appear* on the
+    clustered machine (``transfer_wait``) and which *grow* (queue and
+    operand pressure from halved per-cluster resources).
+    """
+    total_a = a["total_slots"] or 1
+    total_b = b["total_slots"] or 1
+    width = max(len(label_a), len(label_b), 8)
+    lines = [
+        f"stall attribution — {label_a} vs {label_b}",
+        f"  cycles: {label_a} {a['cycles']}, {label_b} {b['cycles']} "
+        f"({100 * (b['cycles'] - a['cycles']) / (a['cycles'] or 1):+.1f}%)",
+        f"  {'cause':<14} {label_a:>{width}} {label_b:>{width}}   delta",
+    ]
+    for cause in CAUSES:
+        frac_a = 100 * a["causes"].get(cause, 0) / total_a
+        frac_b = 100 * b["causes"].get(cause, 0) / total_b
+        if frac_a == 0 and frac_b == 0:
+            continue
+        lines.append(
+            f"  {cause:<14} {frac_a:>{width - 1}.1f}% {frac_b:>{width - 1}.1f}% "
+            f"{frac_b - frac_a:>+6.1f}%"
+        )
+    issued_a = 100 * a["issued_slots"] / total_a
+    issued_b = 100 * b["issued_slots"] / total_b
+    lines.append(
+        f"  {'(issued)':<14} {issued_a:>{width - 1}.1f}% {issued_b:>{width - 1}.1f}% "
+        f"{issued_b - issued_a:>+6.1f}%"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CAUSES",
+    "CAUSE_DESCRIPTIONS",
+    "StallAccounting",
+    "check_identity",
+    "diff_reports",
+    "format_report",
+]

@@ -32,6 +32,7 @@ from repro.errors import SimulationError
 from repro.experiments.harness import EvaluationOptions
 from repro.experiments.table2 import Table2Result, run_table2
 from repro.perf.cache import ArtifactCache
+from repro.perf.fingerprint import fingerprint
 from repro.perf.parallel import resolve_jobs
 from repro.robustness.atomicio import atomic_write_json
 from repro.workloads.spec92 import DEFAULT_TRACE_LENGTH, SPEC92
@@ -52,7 +53,9 @@ class BenchReport:
     jobs: int
     timings_s: dict[str, float]
     rows: list[dict]
-    cache_stats: dict[str, dict[str, int]]
+    #: Per-sweep artifact-cache counters + hit rate (sweeps that ran
+    #: with a cache attached; serial/parallel run cache-less by design).
+    cache_stats: dict[str, dict]
     identical: bool
     divergences: list[str] = field(default_factory=list)
     timestamp: str = ""
@@ -107,6 +110,15 @@ def _rows_payload(result: Table2Result) -> list[dict]:
                 "single": ev.single.cycles,
                 "dual_none": ev.dual_none.cycles,
                 "dual_local": ev.dual_local.cycles,
+            }
+            # Fingerprint of every stats counter (not just the cycle
+            # counts above), so the bit-identity check catches a sweep
+            # path that drops or garbles any stat — e.g. a worker
+            # failing to ship buffer stats home.
+            payload["stats_fingerprint"] = {
+                "single": fingerprint(ev.single.stats.as_dict()),
+                "dual_none": fingerprint(ev.dual_none.stats.as_dict()),
+                "dual_local": fingerprint(ev.dual_local.stats.as_dict()),
             }
         rows.append(payload)
     for failure in result.failures:
@@ -175,7 +187,7 @@ def run_bench(
     pool_jobs = max(2, resolve_jobs(jobs))
 
     timings: dict[str, float] = {}
-    cache_stats: dict[str, dict[str, int]] = {}
+    cache_stats: dict[str, dict] = {}
 
     def timed(label: str, options: EvaluationOptions) -> Table2Result:
         start = time.perf_counter()

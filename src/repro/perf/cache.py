@@ -94,10 +94,16 @@ class CacheStats:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
-    def as_dict(self) -> dict[str, int]:
-        out = {f.name: getattr(self, f.name) for f in fields(self)}
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        out: dict = {f.name: getattr(self, f.name) for f in fields(self)}
         out["hits"] = self.hits
         out["misses"] = self.misses
+        out["hit_rate"] = round(self.hit_rate, 6)
         return out
 
     def format(self) -> str:

@@ -120,10 +120,16 @@ class RunJournal:
         self.path = self.run_dir / "journal.jsonl"
         #: Latest surviving entry per key, in journal order.
         self._entries: dict[str, JournalEntry] = {}
+        #: Heartbeat/progress records (obs.heartbeat), in journal order.
+        #: Not rows: they never satisfy a resume lookup.
+        self.heartbeats: list[dict] = []
         #: Torn/corrupt lines skipped while loading (diagnostics).
         self.skipped_lines = 0
         self._load()
         self._fh: Optional[io.TextIOWrapper] = None
+        #: ``time.monotonic()`` of the last append in this process
+        #: (``None`` before the first) — the heartbeat's "journal lag".
+        self.last_append: Optional[float] = None
 
     # ------------------------------------------------------------- loading
     def _load(self) -> None:
@@ -136,6 +142,12 @@ class RunJournal:
                     continue
                 try:
                     record = json.loads(line)
+                    if (
+                        isinstance(record, dict)
+                        and record.get("status") == "heartbeat"
+                    ):
+                        self.heartbeats.append(record)
+                        continue
                     entry = JournalEntry(
                         **{
                             k: v
@@ -153,13 +165,34 @@ class RunJournal:
                 self._entries[entry.key] = entry
 
     # ------------------------------------------------------------ appending
-    def _append(self, entry: JournalEntry) -> None:
+    def _append_line(self, record: dict) -> None:
         if self._fh is None:
             self._fh = self.path.open("a", encoding="utf-8")
-        self._fh.write(json.dumps(asdict(entry), sort_keys=True) + "\n")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())
+        self.last_append = time.monotonic()
+
+    def _append(self, entry: JournalEntry) -> None:
+        self._append_line(asdict(entry))
         self._entries[entry.key] = entry
+
+    def record_heartbeat(self, payload: dict) -> dict:
+        """Journal a sweep heartbeat (progress snapshot, not a row).
+
+        Heartbeats share the journal's append durability, so a killed
+        sweep's last record shows how far it got; readers route them to
+        :attr:`heartbeats` and they never shadow or satisfy a row key.
+        """
+        record = {
+            "status": "heartbeat",
+            "schema": JOURNAL_SCHEMA,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            **payload,
+        }
+        self._append_line(record)
+        self.heartbeats.append(record)
+        return record
 
     def record_completed(
         self,

@@ -1,16 +1,21 @@
-"""Textual pipeline diagrams from the processor's event log.
+"""Textual pipeline diagrams from the processor's recorded events.
 
 Renders classic pipeline charts — one row per dynamic instruction, one
 column per cycle — from a :class:`~repro.uarch.processor.Processor` run
-with ``event_log`` enabled.  Dual-distributed instructions get one row per
-copy, making the master/slave interplay of Figures 2-5 visible on real
-code:
+with tracing enabled (a :class:`~repro.obs.trace.TraceRecorder` on
+``processor.recorder``, or the legacy ``event_log`` list).
+Dual-distributed instructions get one row per copy, making the
+master/slave interplay of Figures 2-5 visible on real code:
 
     #0 addq r2, r1 -> r4   master@c0  ..D.IC
     #0                     slave @c1  ..DIC.
 
 Stage letters: ``D`` dispatch, ``I`` issue, ``R`` re-issue (a scenario-5
 slave's result phase), ``C`` complete, ``T`` retire.
+
+Both entry points take any :data:`~repro.obs.trace.EventSource`: a
+recorder, typed :class:`~repro.obs.trace.PipelineEvent` lists, or raw
+5-tuples.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.obs.trace import EventSource, iter_events
 from repro.workloads.trace import DynamicInstruction
 
 _STAGE_LETTER = {
@@ -38,14 +44,14 @@ class _Row:
 
 
 def build_rows(
-    event_log: Sequence[tuple[int, str, int, str, int]],
+    event_log: EventSource,
     first_seq: int = 0,
     last_seq: Optional[int] = None,
 ) -> list[_Row]:
-    """Group log events into per-copy rows within a sequence window."""
+    """Group recorded events into per-copy rows within a sequence window."""
     rows: dict[tuple[int, str, int], _Row] = {}
     retires: dict[int, int] = {}
-    for cycle, kind, seq, role, cluster in event_log:
+    for cycle, kind, seq, role, cluster in iter_events(event_log):
         if seq < first_seq or (last_seq is not None and seq > last_seq):
             continue
         if kind == "retire":
@@ -68,7 +74,7 @@ def build_rows(
 
 
 def render_pipeline(
-    event_log: Sequence[tuple[int, str, int, str, int]],
+    event_log: EventSource,
     trace: Optional[Sequence[DynamicInstruction]] = None,
     first_seq: int = 0,
     last_seq: Optional[int] = None,
@@ -77,7 +83,7 @@ def render_pipeline(
     """Render the pipeline chart as a string.
 
     Args:
-        event_log: ``Processor.event_log`` after a run.
+        event_log: ``Processor.recorder`` (or ``event_log``) after a run.
         trace: optional trace for instruction disassembly in row labels.
         first_seq/last_seq: window of dynamic instructions to show.
         max_width: maximum number of cycle columns.

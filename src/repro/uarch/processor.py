@@ -47,6 +47,7 @@ from repro.core.registers import RegisterAssignment
 from repro.errors import ConfigError, SimulationError, WatchdogTimeout
 from repro.isa.opcodes import InstrClass, Opcode
 from repro.isa.registers import RegisterClass
+from repro.obs.trace import TraceRecorder, iter_events
 from repro.uarch.branch_predictor import McFarlingPredictor
 from repro.uarch.buffers import TransferBuffer
 from repro.uarch.caches import Cache
@@ -166,11 +167,21 @@ class Processor:
         self._reassign_ready: Optional[int] = None
         self._reassigned_seqs: set[int] = set()
         self.cycle = 0
-        #: Optional event log: when set to a list, the processor appends
-        #: ``(cycle, event, seq, role, cluster)`` tuples for fetch,
-        #: dispatch, issue, writeback and retire — the data behind the
-        #: Figure 2-5 execution timelines.
-        self.event_log: Optional[list[tuple[int, str, int, str, int]]] = None
+
+        # Observability substrate (repro.obs).  All three default to
+        # ``None`` and cost the hot loop one attribute load + None check
+        # each when disabled.
+        #: Optional typed event recorder for fetch/dispatch/issue/
+        #: writeback/retire events — the data behind the Figure 2-5
+        #: execution timelines.  See the ``event_log`` property for the
+        #: legacy list-based interface.
+        self.recorder: Optional[TraceRecorder] = None
+        #: Optional per-cycle callback ``hook(processor, cycle)`` —
+        #: installed by ``obs.metrics.PipelineMetrics.attach``.
+        self.metrics_hook = None
+        #: Optional ``obs.stall.StallAccounting`` classifying every
+        #: non-issuing slot of every cycle.
+        self.stall_acct = None
 
         # Robustness substrate.
         #: Ring buffer of the last-N pipeline events (dispatch/issue/
@@ -193,6 +204,40 @@ class Processor:
     def install_fault(self, fault) -> None:
         """Attach a runtime fault injector (see robustness.faultinject)."""
         self.fault_hooks.append(fault)
+
+    @property
+    def event_log(self):
+        """Legacy list-style view of the recorded pipeline events.
+
+        Historically this was ``Optional[list[tuple]]`` that callers
+        assigned ``[]`` to opt in.  It now proxies :attr:`recorder`:
+        reading returns the recorder's retained events (``None`` when
+        tracing is off), and assigning a list installs an in-memory
+        recorder seeded with it, so existing callers work unchanged.
+        """
+        recorder = self.recorder
+        return None if recorder is None else recorder.events
+
+    @event_log.setter
+    def event_log(self, value) -> None:
+        if value is None:
+            self.recorder = None
+        elif isinstance(value, TraceRecorder):
+            self.recorder = value
+        else:
+            recorder = TraceRecorder.memory()
+            recorder.sinks[0].events.extend(iter_events(value))
+            self.recorder = recorder
+
+    @property
+    def rob_occupancy(self) -> int:
+        """In-flight (dispatched, unretired) dynamic instructions."""
+        return len(self._rob)
+
+    @property
+    def fetch_buffer_occupancy(self) -> int:
+        """Fetched instructions not yet inserted into a dispatch queue."""
+        return len(self._fetch_buffer)
 
     # ================================================================= API
     def run(self, trace: Sequence[DynamicInstruction], max_cycles: int = 0) -> SimulationResult:
@@ -263,6 +308,11 @@ class Processor:
         self.stats.dcache_misses = self.dcache.stats.misses
         self.stats.branch_predictions = self.predictor.stats.predictions
         self.stats.branch_mispredictions = self.predictor.stats.mispredictions
+        for cluster in self.clusters:
+            cluster.stats.operand_buffer = cluster.operand_buffer.stats
+            cluster.stats.result_buffer = cluster.result_buffer.stats
+        if self.stall_acct is not None:
+            self.stats.stall_attribution = self.stall_acct.as_dict(self.cycle)
         return SimulationResult(self.config.name, self.stats)
 
     def diagnostic_dump(self) -> list[str]:
@@ -323,6 +373,9 @@ class Processor:
             self._maybe_fast_forward(cycle)
         if self._invariants is not None:
             self._invariants.check_cycle(cycle)
+        hook = self.metrics_hook
+        if hook is not None:
+            hook(self, cycle)
         self.cycle += 1
 
     def _maybe_fast_forward(self, cycle: int) -> None:
@@ -360,6 +413,18 @@ class Processor:
             )
         target = min(candidates)
         if target > cycle + 1:
+            acct = self.stall_acct
+            if acct is not None:
+                # The skipped cycles issue nothing; attribute their slots
+                # with the same rules as a stepped idle cycle.
+                acct.note_skipped(
+                    target - cycle - 1,
+                    [
+                        c.queue_free < c.config.dispatch_queue_entries
+                        for c in self.clusters
+                    ],
+                    self._fetch_index >= len(self._trace) and not self._fetch_buffer,
+                )
             self.cycle = target - 1  # _step will +1
 
     # ---------------------------------------------------------------- events
@@ -391,8 +456,9 @@ class Processor:
 
     def _log(self, cycle: int, event: str, seq: int, role: str = "-", cluster: int = -1) -> None:
         self._recent.append((cycle, event, seq, role, cluster))
-        if self.event_log is not None:
-            self.event_log.append((cycle, event, seq, role, cluster))
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record(cycle, event, seq, role, cluster)
 
     def _wake(self, uop: Uop) -> None:
         """One outstanding dependency of ``uop`` resolved."""
@@ -459,6 +525,9 @@ class Processor:
     def _dispatch(self, cycle: int) -> bool:
         budget = self.config.dispatch_width
         dispatched = False
+        acct = self.stall_acct
+        if acct is not None:
+            acct.begin_dispatch()
         while budget > 0 and self._fetch_buffer:
             dyn, fetch_cycle, mispredicted = self._fetch_buffer[0]
             if cycle < fetch_cycle + self.config.frontend_depth:
@@ -542,29 +611,38 @@ class Processor:
             self._plan_cache[instr.uid] = plan
         return plan
 
+    def _note_dispatch_block(self, cause: str) -> None:
+        acct = self.stall_acct
+        if acct is not None:
+            acct.note_dispatch_block(cause)
+
     def _resources_available(self, dyn: DynamicInstruction, plan: DistributionPlan) -> bool:
         instr = dyn.instr
         dest = instr.effective_dest
         master = self.clusters[plan.master]
         if master.queue_free < 1:
             master.stats.queue_full_stalls += 1
+            self._note_dispatch_block("queue_full")
             return False
         master_writes = dest is not None and (plan.global_dest or not plan.result_forwarded)
         if master_writes:
             need_int = 1 if dest.rclass is RegisterClass.INT else 0
             if not master.rename.can_allocate(need_int, 1 - need_int):
                 master.stats.regfile_full_stalls += 1
+                self._note_dispatch_block("regfile_full")
                 return False
         if plan.is_dual:
             slave = self.clusters[plan.slave]
             if slave.queue_free < 1:
                 slave.stats.queue_full_stalls += 1
+                self._note_dispatch_block("queue_full")
                 return False
             slave_writes = dest is not None and (plan.global_dest or plan.result_forwarded)
             if slave_writes:
                 need_int = 1 if dest.rclass is RegisterClass.INT else 0
                 if not slave.rename.can_allocate(need_int, 1 - need_int):
                     slave.stats.regfile_full_stalls += 1
+                    self._note_dispatch_block("regfile_full")
                     return False
         return True
 
@@ -700,6 +778,9 @@ class Processor:
         }
         skipped: list[tuple[int, int, Uop]] = []
         issued = 0
+        class_limited = 0
+        blocked_buffer = 0
+        blocked_divider = 0
         ready = cluster.ready
         while ready and remaining_total > 0:
             seq, phase, uop = heapq.heappop(ready)
@@ -707,6 +788,7 @@ class Processor:
                 continue
             category = _issue_category(uop.iclass)
             if remaining[category] <= 0:
+                class_limited += 1
                 skipped.append((seq, phase, uop))
                 continue
             blocked = self._issue_blocked(uop, cluster, cycle, phase)
@@ -714,12 +796,15 @@ class Processor:
                 if uop.blocked_on_buffer_since < 0 and blocked == "buffer":
                     uop.blocked_on_buffer_since = cycle
                 if blocked == "buffer":
+                    blocked_buffer += 1
                     buffer = (
                         self.clusters[uop.partner.cluster].operand_buffer
                         if uop.needs_operand_entry and phase == 0
                         else self.clusters[uop.partner.cluster].result_buffer
                     )
                     buffer.stats.full_stall_cycles += 1
+                else:
+                    blocked_divider += 1
                 skipped.append((seq, phase, uop))
                 continue
             self._do_issue(uop, cluster, cycle, phase)
@@ -728,6 +813,18 @@ class Processor:
             issued += 1
         for item in skipped:
             heapq.heappush(ready, item)
+        acct = self.stall_acct
+        if acct is not None:
+            acct.note_issue(
+                cluster.index,
+                issued,
+                blocked_buffer,
+                blocked_divider,
+                class_limited,
+                occupied=cluster.queue_free < cluster.config.dispatch_queue_entries,
+                draining=self._fetch_index >= len(self._trace)
+                and not self._fetch_buffer,
+            )
         return issued > 0
 
     def _issue_blocked(

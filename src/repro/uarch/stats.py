@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.distribution import Scenario
+from repro.uarch.buffers import BufferStats
 
 
 @dataclass
@@ -16,10 +18,37 @@ class ClusterStats:
     queue_full_stalls: int = 0
     regfile_full_stalls: int = 0
     peak_queue_occupancy: int = 0
+    #: Transfer-buffer statistics, copied from the live buffers at
+    #: ``Processor.finalize`` (``None`` until then; single-cluster
+    #: machines get the all-zero stats of their zero-capacity buffers).
+    operand_buffer: Optional[BufferStats] = None
+    result_buffer: Optional[BufferStats] = None
 
     def note_issue(self, class_name: str) -> None:
         self.issued += 1
         self.issued_by_class[class_name] = self.issued_by_class.get(class_name, 0) + 1
+
+    def as_dict(self) -> dict:
+        """Stable, JSON-native serialization of *every* field."""
+
+        def _buffer(stats: Optional[BufferStats]) -> Optional[dict]:
+            if stats is None:
+                return None
+            return {
+                "allocations": stats.allocations,
+                "full_stall_cycles": stats.full_stall_cycles,
+                "peak_occupancy": stats.peak_occupancy,
+            }
+
+        return {
+            "issued": self.issued,
+            "issued_by_class": dict(sorted(self.issued_by_class.items())),
+            "queue_full_stalls": self.queue_full_stalls,
+            "regfile_full_stalls": self.regfile_full_stalls,
+            "peak_queue_occupancy": self.peak_queue_occupancy,
+            "operand_buffer": _buffer(self.operand_buffer),
+            "result_buffer": _buffer(self.result_buffer),
+        }
 
 
 @dataclass
@@ -66,6 +95,13 @@ class SimulationStats:
     issue_disorder_accum: float = 0.0
     issue_disorder_samples: int = 0
 
+    # Observability attachments (repro.obs), populated only for runs
+    # that opted in; ``None`` otherwise.
+    #: Stall-attribution payload (``obs.stall.StallAccounting.as_dict``).
+    stall_attribution: Optional[dict] = None
+    #: Metrics payload (``obs.metrics.PipelineMetrics.payload``).
+    metrics: Optional[dict] = None
+
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
@@ -93,6 +129,48 @@ class SimulationStats:
         if self.issue_disorder_samples == 0:
             return 0.0
         return self.issue_disorder_accum / self.issue_disorder_samples
+
+    def as_dict(self) -> dict:
+        """Stable, JSON-native serialization of *every* counter.
+
+        This is the fingerprint surface for bit-identity checks between
+        serial and parallel sweeps: any field added to the stats must
+        show up here (and the parallel-sweep identity test will fail if
+        a worker path drops it).  ``by_scenario`` is keyed by scenario
+        *name* so the payload round-trips through JSON.
+        """
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "uops_executed": self.uops_executed,
+            "dual_distributed": self.dual_distributed,
+            "by_scenario": {
+                scenario.name: count
+                for scenario, count in sorted(
+                    self.by_scenario.items(), key=lambda item: item[0].value
+                )
+            },
+            "clusters": [c.as_dict() for c in self.clusters],
+            "fetch_stall_cycles": self.fetch_stall_cycles,
+            "dispatch_stall_cycles": self.dispatch_stall_cycles,
+            "mispredict_stall_cycles": self.mispredict_stall_cycles,
+            "branch_predictions": self.branch_predictions,
+            "branch_mispredictions": self.branch_mispredictions,
+            "icache_accesses": self.icache_accesses,
+            "icache_misses": self.icache_misses,
+            "dcache_accesses": self.dcache_accesses,
+            "dcache_misses": self.dcache_misses,
+            "operand_forwards": self.operand_forwards,
+            "result_forwards": self.result_forwards,
+            "replay_exceptions": self.replay_exceptions,
+            "replay_squashed_instructions": self.replay_squashed_instructions,
+            "reassignments": self.reassignments,
+            "reassignment_stall_cycles": self.reassignment_stall_cycles,
+            "issue_disorder_accum": self.issue_disorder_accum,
+            "issue_disorder_samples": self.issue_disorder_samples,
+            "stall_attribution": self.stall_attribution,
+            "metrics": self.metrics,
+        }
 
     def summary(self) -> str:
         """Multi-line human-readable report."""

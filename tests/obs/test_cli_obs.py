@@ -1,0 +1,101 @@
+"""The ``repro trace`` / ``repro stats`` commands and the logging flags."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs.export import validate_stats_payload
+
+
+class TestParser:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "compress"])
+        assert args.machine == "dual"
+        assert tuple(args.window) == (0, 24)
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats", "compress"])
+        assert args.machine == "both"
+        assert args.interval == 100
+
+    def test_logging_flags_both_sides_of_command(self):
+        parser = build_parser()
+        before = parser.parse_args(["-v", "trace", "compress"])
+        after = parser.parse_args(["trace", "compress", "-v"])
+        assert before.verbose == after.verbose == 1
+        assert parser.parse_args(["stats", "compress", "--quiet"]).quiet
+
+
+class TestTraceCommand:
+    def test_renders_chart(self, capsys):
+        main(["trace", "compress", "--trace-length", "600",
+              "--window", "0", "8"])
+        out = capsys.readouterr().out
+        assert "compress on dual-4way" in out
+        assert "D=dispatch" in out
+        assert "master" in out
+
+    def test_single_machine(self, capsys):
+        main(["trace", "compress", "--machine", "single",
+              "--trace-length", "600", "--window", "0", "4"])
+        out = capsys.readouterr().out
+        assert "single-8way" in out
+
+    def test_jsonl_export(self, tmp_path, capsys):
+        from repro.obs.trace import read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        main(["trace", "compress", "--trace-length", "600",
+              "--window", "0", "4", "--jsonl", str(path)])
+        events = read_jsonl(path)
+        assert events
+        assert {e.kind for e in events} >= {"dispatch", "issue", "retire"}
+
+
+class TestStatsCommand:
+    def test_both_machines_with_diff(self, capsys):
+        main(["stats", "compress", "--trace-length", "1500"])
+        out = capsys.readouterr().out
+        assert "single-8way" in out and "dual-4way" in out
+        assert "stall attribution — single vs dual" in out
+
+    def test_json_export_validates(self, tmp_path, capsys):
+        path = tmp_path / "stats.json"
+        main(["stats", "compress", "--trace-length", "1500",
+              "--json", str(path)])
+        document = json.loads(path.read_text())
+        validate_stats_payload(document)
+        assert document["benchmark"] == "compress"
+        assert [run["machine"] for run in document["runs"]] == ["single", "dual"]
+
+    def test_prom_export(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        main(["stats", "compress", "--machine", "dual",
+              "--trace-length", "1500", "--prom", str(path)])
+        text = path.read_text()
+        assert "# TYPE repro_cycles_total counter" in text
+
+    def test_prom_needs_single_machine(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", "compress", "--trace-length", "1500",
+                  "--prom", "out.prom"])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--prom" in err
+
+
+class TestLoggingBehavior:
+    def test_quiet_silences_diagnostics(self, capsys):
+        main(["stats", "compress", "--trace-length", "1500",
+              "--machine", "single", "--quiet"])
+        captured = capsys.readouterr()
+        assert "cache" not in captured.err  # cache stats line suppressed
+        assert "single-8way" in captured.out  # results still print
+
+    def test_verbose_prefixes_logger_names(self, capsys):
+        main(["-v", "stats", "compress", "--trace-length", "1500",
+              "--machine", "single"])
+        err = capsys.readouterr().err
+        assert "repro.cli:" in err

@@ -1,0 +1,131 @@
+"""Stall attribution: the exact-accounting identity and its reports."""
+
+import pytest
+
+from repro.obs.runner import observe_benchmark
+from repro.obs.stall import (
+    CAUSES,
+    StallAccounting,
+    check_identity,
+    diff_reports,
+    format_report,
+)
+
+TL = 2000
+
+
+class TestUnitAccounting:
+    def test_priority_order_charges_observed_blocks_first(self):
+        acct = StallAccounting([4])
+        acct.note_issue(0, 2, blocked_buffer=1, occupied=True)
+        payload = acct.as_dict(1)
+        assert payload["causes"]["transfer_wait"] == 1
+        assert payload["causes"]["operand_wait"] == 1
+        assert payload["issued_slots"] == 2
+        check_identity(payload)
+
+    def test_full_issue_leaves_nothing_to_attribute(self):
+        acct = StallAccounting([4])
+        acct.note_issue(0, 4, blocked_buffer=3)
+        payload = acct.as_dict(1)
+        assert payload["stalled_slots"] == 0
+        check_identity(payload)
+
+    def test_dispatch_block_classifies_empty_queue(self):
+        acct = StallAccounting([4])
+        # Cycle N's dispatch blocked on a full free list; cycle N+1's
+        # issue stage (which runs before dispatch clears the flag) sees
+        # an empty queue and charges the front end.
+        acct.note_dispatch_block("regfile_full")
+        acct.note_issue(0, 0, occupied=False)
+        acct.begin_dispatch()
+        assert acct.as_dict(1)["causes"]["regfile_full"] == 4
+
+    def test_drain_vs_fetch_starved(self):
+        acct = StallAccounting([2])
+        acct.note_issue(0, 0, occupied=False, draining=True)
+        acct.note_issue(0, 0, occupied=False, draining=False)
+        payload = acct.as_dict(2)
+        assert payload["causes"]["drain"] == 2
+        assert payload["causes"]["fetch_starved"] == 2
+        check_identity(payload)
+
+    def test_fast_forward_accounting(self):
+        acct = StallAccounting([4, 4])
+        acct.note_issue(0, 1, occupied=True)
+        acct.note_issue(1, 0, occupied=False)
+        acct.note_skipped(5, occupied=[True, False], draining=False)
+        payload = acct.as_dict(6)
+        check_identity(payload)
+        assert payload["clusters"][0]["causes"]["operand_wait"] == 3 + 5 * 4
+        assert payload["clusters"][1]["causes"]["fetch_starved"] == 4 + 5 * 4
+
+    def test_check_identity_rejects_imbalance(self):
+        acct = StallAccounting([4])
+        acct.note_issue(0, 1, occupied=True)
+        payload = acct.as_dict(1)
+        payload["causes"]["operand_wait"] += 1
+        payload["stalled_slots"] += 1
+        with pytest.raises(ValueError, match="does not balance"):
+            check_identity(payload)
+
+
+class TestRealRuns:
+    """The acceptance criterion: totals sum exactly to cycles x width."""
+
+    @pytest.fixture(scope="class")
+    def single(self):
+        return observe_benchmark("compress", "single", trace_length=TL,
+                                 sample_interval=None)
+
+    @pytest.fixture(scope="class")
+    def dual(self):
+        return observe_benchmark("compress", "dual", trace_length=TL,
+                                 sample_interval=None)
+
+    def test_single_identity(self, single):
+        payload = single.stats.stall_attribution
+        check_identity(payload)
+        assert payload["issue_width"] == 8
+        assert payload["total_slots"] == single.stats.cycles * 8
+
+    def test_dual_identity(self, dual):
+        payload = dual.stats.stall_attribution
+        check_identity(payload)
+        assert payload["issue_width"] == 8  # 2 clusters x 4
+        assert len(payload["clusters"]) == 2
+        for cluster in payload["clusters"]:
+            assert cluster["width"] == 4
+
+    def test_dual_pays_transfer_wait(self, single, dual):
+        """The paper's story: clustering introduces transfer stalls."""
+        assert single.stats.stall_attribution["causes"]["transfer_wait"] == 0
+        assert dual.stats.stall_attribution["causes"]["transfer_wait"] > 0
+
+    def test_every_cause_is_known(self, dual):
+        assert set(dual.stats.stall_attribution["causes"]) == set(CAUSES)
+
+    def test_dual_local_machine_accounted_too(self):
+        run = observe_benchmark("compress", "dual-local", trace_length=TL,
+                                sample_interval=None)
+        check_identity(run.stats.stall_attribution)
+
+
+class TestReports:
+    def test_format_report(self):
+        acct = StallAccounting([4])
+        acct.note_issue(0, 2, blocked_buffer=2)
+        text = format_report(acct.as_dict(1), label="unit")
+        assert "stall attribution — unit" in text
+        assert "transfer_wait" in text
+        assert "50.0%" in text  # 2 of 4 slots issued
+
+    def test_diff_reports(self):
+        a, b = StallAccounting([8]), StallAccounting([4, 4])
+        a.note_issue(0, 8)
+        b.note_issue(0, 2, blocked_buffer=2, occupied=True)
+        b.note_issue(1, 4)
+        text = diff_reports(a.as_dict(1), b.as_dict(1), "single", "dual")
+        assert "single vs dual" in text
+        assert "transfer_wait" in text
+        assert "(issued)" in text

@@ -1,0 +1,168 @@
+"""Typed pipeline tracing: events, sinks, recorder, and back-compat."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.trace import (
+    JsonlSink,
+    MemorySink,
+    PipelineEvent,
+    RingSink,
+    TraceRecorder,
+    iter_events,
+    read_jsonl,
+)
+from repro.uarch.config import default_assignment_for, dual_cluster_config
+from repro.uarch.processor import Processor
+
+from tests.uarch.helpers import trace_from_instructions
+from tests.uarch.test_pipeline_view import add
+
+
+class TestPipelineEvent:
+    def test_tuple_compatibility(self):
+        event = PipelineEvent(3, "issue", 7, "master", 1)
+        cycle, kind, seq, role, cluster = event
+        assert (cycle, kind, seq, role, cluster) == (3, "issue", 7, "master", 1)
+        assert event[0] == 3 and event[1] == "issue"
+        assert event == (3, "issue", 7, "master", 1)
+
+    def test_defaults(self):
+        event = PipelineEvent(0, "retire", 5)
+        assert event.role == "-" and event.cluster == -1
+
+    def test_dict_round_trip(self):
+        event = PipelineEvent(11, "complete", 2, "slave", 0)
+        assert PipelineEvent.from_dict(event.as_dict()) == event
+
+
+class TestSinks:
+    def test_memory_sink_keeps_everything(self):
+        recorder = TraceRecorder.memory()
+        for cycle in range(5):
+            recorder.record(cycle, "issue", cycle)
+        assert recorder.recorded == 5
+        assert len(recorder.events) == 5
+
+    def test_ring_sink_bounds_and_counts_drops(self):
+        recorder = TraceRecorder.ring(3)
+        for cycle in range(10):
+            recorder.record(cycle, "issue", cycle)
+        (ring,) = recorder.sinks
+        assert [e.cycle for e in recorder.events] == [7, 8, 9]
+        assert ring.dropped == 7
+
+    def test_ring_sink_rejects_bad_maxlen(self):
+        with pytest.raises(ValueError, match="maxlen"):
+            RingSink(0)
+
+    def test_recorder_needs_a_sink(self):
+        with pytest.raises(ValueError, match="at least one sink"):
+            TraceRecorder([])
+
+    def test_fan_out_to_multiple_sinks(self):
+        memory, ring = MemorySink(), RingSink(2)
+        recorder = TraceRecorder([memory, ring])
+        for cycle in range(4):
+            recorder.record(cycle, "dispatch", cycle)
+        assert len(memory.events) == 4
+        assert len(ring.events) == 2
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TraceRecorder.jsonl(path) as recorder:
+            recorder.record(0, "dispatch", 0, "master", 1)
+            recorder.record(2, "issue", 0, "master", 1)
+        events = read_jsonl(path)
+        assert events == [
+            PipelineEvent(0, "dispatch", 0, "master", 1),
+            PipelineEvent(2, "issue", 0, "master", 1),
+        ]
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TraceRecorder.jsonl(path) as recorder:
+            recorder.record(0, "issue", 0)
+        with path.open("a") as fh:
+            fh.write('{"cycle": 1, "kind": "iss')  # killed mid-write
+        assert read_jsonl(path) == [PipelineEvent(0, "issue", 0)]
+
+    def test_lazy_open_writes_nothing_for_no_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        assert not path.exists()
+
+    def test_sink_survives_pickling(self, tmp_path):
+        """Checkpointing pickles processors; the file handle must not ride."""
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.append(PipelineEvent(0, "issue", 0))
+        pickled = pickle.dumps(sink)
+        sink.close()  # the checkpointed process is gone on restore
+        restored = pickle.loads(pickled)
+        restored.append(PipelineEvent(1, "issue", 1))
+        restored.close()
+        assert [e.cycle for e in read_jsonl(path)] == [0, 1]
+
+
+class TestIterEvents:
+    def test_raw_tuples_upgraded(self):
+        events = list(iter_events([(0, "issue", 1, "master", 0)]))
+        assert events == [PipelineEvent(0, "issue", 1, "master", 0)]
+
+    def test_recorder_source(self):
+        recorder = TraceRecorder.memory()
+        recorder.record(4, "retire", 9)
+        assert [e.kind for e in iter_events(recorder)] == ["retire"]
+
+
+class TestEventLogBackCompat:
+    """``processor.event_log`` stays a drop-in for the old list attribute."""
+
+    def _processor(self):
+        config = dual_cluster_config()
+        return Processor(config, default_assignment_for(config))
+
+    def test_assigning_list_installs_memory_recorder(self):
+        p = self._processor()
+        p.event_log = []
+        p.run(trace_from_instructions([add(4, 0, 1)]))
+        assert p.recorder is not None
+        assert len(p.event_log) > 0
+        # Old-style tuple unpacking still works on the log.
+        for cycle, kind, seq, role, cluster in p.event_log:
+            assert isinstance(cycle, int) and kind
+
+    def test_none_disables(self):
+        p = self._processor()
+        p.event_log = []
+        p.event_log = None
+        assert p.recorder is None and p.event_log is None
+
+    def test_seeding_with_existing_tuples(self):
+        p = self._processor()
+        p.event_log = [(0, "issue", 0, "master", 0)]
+        assert p.event_log == [PipelineEvent(0, "issue", 0, "master", 0)]
+
+    def test_recorder_assignment_direct(self):
+        p = self._processor()
+        recorder = TraceRecorder.ring(16)
+        p.event_log = recorder
+        assert p.recorder is recorder
+
+    def test_jsonl_recorder_streams_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        p = self._processor()
+        p.recorder = TraceRecorder.jsonl(path)
+        p.run(trace_from_instructions([add(4, 0, 1), add(2, 4, 4)]))
+        p.recorder.close()
+        events = read_jsonl(path)
+        assert events
+        kinds = {e.kind for e in events}
+        assert {"dispatch", "issue", "complete", "retire"} <= kinds
+        assert json.loads(path.read_text().splitlines()[0])["cycle"] >= 0

@@ -31,9 +31,17 @@ class TestBench:
         (row,) = payload["rows"]
         assert row["benchmark"] == "ora"
         assert set(row["cycles"]) == {"single", "dual_none", "dual_local"}
+        # Full-stats fingerprints ride on every row, so the identity
+        # check covers the whole stats surface.
+        fingerprints = row["stats_fingerprint"]
+        assert set(fingerprints) == {"single", "dual_none", "dual_local"}
+        assert all(len(fp) == 64 for fp in fingerprints.values())
         # The warm sweep must have run entirely from the cache.
         warm = payload["cache_stats"]["cache-warm"]
         assert warm["misses"] == 0 and warm["hits"] > 0
+        assert warm["hit_rate"] == 1.0
+        cold = payload["cache_stats"]["cache-cold"]
+        assert 0.0 <= cold["hit_rate"] < 1.0
         assert payload["cpu_count"] >= 1
         assert payload["python"]
 

@@ -55,6 +55,30 @@ class TestTable2BitIdentity:
         assert _row_tuples(parallel) == _row_tuples(serial)
         assert parallel.failures == serial.failures == []
 
+    def test_full_stats_surface_bit_identical(self):
+        """Every stat — not just cycle counts — survives the worker trip.
+
+        ``SimulationStats.as_dict()`` is the full fingerprint surface
+        (issue counts, scenario mix, buffer stats, cache counters); a
+        sweep path that drops or garbles any field fails here even if
+        the headline percentages agree.
+        """
+        serial = run_table2(["compress"], EvaluationOptions(trace_length=TL))
+        parallel = run_table2(
+            ["compress"], EvaluationOptions(trace_length=TL, jobs=2)
+        )
+        s_ev, p_ev = serial.rows[0].evaluation, parallel.rows[0].evaluation
+        for part in ("single", "dual_none", "dual_local"):
+            s_stats = getattr(s_ev, part).stats.as_dict()
+            p_stats = getattr(p_ev, part).stats.as_dict()
+            assert p_stats == s_stats, f"stats diverge for part {part!r}"
+            # Buffer stats came home from the worker, not as defaults.
+            if part != "single":
+                clusters = p_stats["clusters"]
+                assert any(
+                    c["operand_buffer"] is not None for c in clusters
+                ), "worker dropped transfer-buffer stats"
+
     def test_parallel_honours_shared_disk_cache(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         first = run_table2(

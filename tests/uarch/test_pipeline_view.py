@@ -71,3 +71,31 @@ class TestRendering:
         master_line = next(l for l in lines if "master" in l)
         slave_line = next(l for l in lines if "slave" in l)
         assert slave_line.index("I") < master_line.index("I")
+
+    def test_max_width_truncates_columns(self):
+        p, _ = run_trace([add(0, 28, 28) for _ in range(8)], single_cluster_config())
+        narrow = render_pipeline(p.event_log, max_width=4)
+        wide = render_pipeline(p.event_log, max_width=200)
+        narrow_cells = narrow.splitlines()[1].split("@c")[1][1:]
+        wide_cells = wide.splitlines()[1].split("@c")[1][1:]
+        assert len(narrow_cells) <= len(wide_cells)
+        assert "cycles" in narrow.splitlines()[0]
+
+
+class TestEventSources:
+    """The renderer accepts recorders, typed events, and raw tuples."""
+
+    def test_events_are_typed(self):
+        from repro.obs.trace import PipelineEvent
+
+        p, _ = run_trace([add(4, 0, 2)], dual_cluster_config())
+        assert all(isinstance(e, PipelineEvent) for e in p.event_log)
+
+    def test_recorder_renders_like_its_events(self):
+        p, _ = run_trace([add(4, 0, 1)], dual_cluster_config())
+        assert render_pipeline(p.recorder) == render_pipeline(p.event_log)
+
+    def test_raw_tuples_still_render(self):
+        p, _ = run_trace([add(4, 0, 1)], dual_cluster_config())
+        raw = [tuple(e) for e in p.event_log]
+        assert render_pipeline(raw) == render_pipeline(p.event_log)

@@ -3,7 +3,9 @@
 Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 
     python -m repro table2 [--trace-length N] [--benchmarks a b ...] [--jobs N]
-                           [--retries N] [--resume DIR]
+                           [--retries N] [--resume DIR] [--shard NAME]
+                           [--executor pool|supervised] [--task-timeout S]
+                           [--redispatch-budget N]
     python -m repro scenarios
     python -m repro figure6 [--sweep] [--jobs N] [--resume DIR]
     python -m repro cycle-time [--trace-length N] [--jobs N]
@@ -12,6 +14,8 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro bench [--quick] [--jobs N] [--output BENCH_table2.json]
     python -m repro replay BUNDLE.json
     python -m repro chaos [--quick] [--seed N] [--rounds N] [--run-dir DIR]
+                          [--worker-faults]
+    python -m repro journal merge SHARD [SHARD ...] --output DIR
     python -m repro trace BENCHMARK [--machine single|dual|dual-local]
                           [--window A B] [--jsonl FILE]
     python -m repro stats BENCHMARK [--machine ...] [--json FILE] [--prom FILE]
@@ -80,10 +84,12 @@ def _make_retry(args: argparse.Namespace):
 
 
 def _make_journal(args: argparse.Namespace):
-    """The run journal requested by --resume DIR (or None)."""
+    """The run journal requested by --resume DIR [--shard NAME] (or None)."""
     from repro.robustness.journal import open_journal
 
-    return open_journal(getattr(args, "resume", None))
+    return open_journal(
+        getattr(args, "resume", None), shard=getattr(args, "shard", None)
+    )
 
 
 def _evaluation_options(args: argparse.Namespace):
@@ -96,6 +102,9 @@ def _evaluation_options(args: argparse.Namespace):
         jobs=getattr(args, "jobs", 1),
         cache=_make_cache(args),
         retry=_make_retry(args),
+        executor=getattr(args, "executor", "pool"),
+        task_timeout=getattr(args, "task_timeout", None),
+        redispatch_budget=getattr(args, "redispatch_budget", 2),
     )
 
 
@@ -315,6 +324,30 @@ def _add_perf_flags(
         help="worker processes for the sweep (1 = serial, 0 = one per CPU "
         "core); results are bit-identical to the serial run",
     )
+    parser.add_argument(
+        "--executor",
+        choices=["pool", "supervised"],
+        default="pool",
+        help="sweep fan-out engine: 'pool' trusts its workers; "
+        "'supervised' adds per-task deadlines, dead/wedged-worker "
+        "detection, and bounded re-dispatch (still bit-identical)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="supervised executor's per-task deadline in seconds "
+        "(default: derived from --trace-length)",
+    )
+    parser.add_argument(
+        "--redispatch-budget",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-dispatches allowed per task after a lost worker before "
+        "the supervised executor degrades the sweep to serial",
+    )
     if cache_flags:
         parser.add_argument(
             "--cache",
@@ -346,6 +379,14 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
         help="run directory with the append-only journal: completed rows "
         "are reused (bit-identically) and new rows journaled; pass the "
         "same DIR again after an interrupt to resume",
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="NAME",
+        help="journal into journal-NAME.jsonl inside the --resume "
+        "directory (one shard per executor/host); fold shards together "
+        "later with 'repro journal merge'",
     )
 
 
@@ -510,7 +551,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="keep journals, bundles, and health.json here for post-mortems",
     )
+    ch.add_argument(
+        "--worker-faults",
+        action="store_true",
+        help="inject executor-level faults instead (worker_kill, "
+        "worker_stall, worker_partition) against the supervised "
+        "executor, asserting bit-identity to a serial reference",
+    )
     ch.set_defaults(func=_cmd_chaos)
+
+    jn = sub.add_parser(
+        "journal", help="operate on run-directory journals (sharded sweeps)"
+    )
+    jn_sub = jn.add_subparsers(dest="journal_command", required=True)
+    jm = jn_sub.add_parser(
+        "merge",
+        help="fold shard journals into one resume-equivalent run directory",
+    )
+    jm.add_argument(
+        "shards",
+        nargs="+",
+        metavar="SHARD",
+        help="journal files or run directories to merge (a directory "
+        "contributes journal.jsonl plus every journal-*.jsonl)",
+    )
+    jm.add_argument(
+        "--output",
+        required=True,
+        metavar="DIR",
+        help="output run directory (must not already hold a journal); "
+        "point --resume here afterwards",
+    )
+    jm.set_defaults(func=_cmd_journal_merge)
 
     tr = sub.add_parser(
         "trace",
@@ -618,6 +690,7 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
             benchmarks=("compress",),
             trace_length=800,
             jobs=args.jobs,
+            worker_faults=args.worker_faults,
         )
     else:
         config = ChaosConfig(
@@ -626,12 +699,20 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
             benchmarks=tuple(args.benchmarks or ("compress", "ora")),
             trace_length=args.trace_length,
             jobs=args.jobs,
+            worker_faults=args.worker_faults,
         )
     report = run_chaos(config, run_dir=args.run_dir)
     print(report.format())
     if args.run_dir:
         log.info("health report: %s/health.json", args.run_dir)
     raise SystemExit(report.exit_code)
+
+
+def _cmd_journal_merge(args: argparse.Namespace) -> None:
+    from repro.robustness.journal import merge_journals
+
+    report = merge_journals(args.shards, args.output)
+    print(report.format())
 
 
 def _cmd_bench(args: argparse.Namespace) -> None:

@@ -172,6 +172,23 @@ class EvaluationOptions:
     #: every row (deterministic; tests).  Excluded from
     #: ``options_fingerprint`` — heartbeats never change row values.
     heartbeat_interval: Optional[float] = 5.0
+    #: Sweep executor (``repro.perf.executor``): ``"pool"`` is the
+    #: trusting process pool; ``"supervised"`` adds per-task deadlines,
+    #: dead/wedged-worker detection, and bounded re-dispatch.  All of
+    #: these executor knobs are excluded from ``options_fingerprint``:
+    #: the executor decides *how* rows are computed, never their values
+    #: (re-dispatch and the degraded serial path are bit-identical).
+    executor: str = "pool"
+    #: Per-task deadline in seconds for the supervised executor;
+    #: ``None`` derives one from ``trace_length``.
+    task_timeout: Optional[float] = None
+    #: Re-dispatches allowed per task after a lost worker or expired
+    #: deadline before the circuit breaker degrades the sweep to serial.
+    redispatch_budget: int = 2
+    #: Executor-level fault schedule (chaos: worker_kill/stall/partition),
+    #: consulted by supervised *workers* at task pickup.  Stripped from
+    #: the options shipped into workers' tasks so it cannot recurse.
+    worker_fault_plan: Optional["FaultPlan"] = None
 
     def apply_robustness(self, config: ProcessorConfig) -> ProcessorConfig:
         """Thread the self-check / cycle-budget knobs into a machine config."""

@@ -82,14 +82,25 @@ class Heartbeat:
     def snapshot(self, now: Optional[float] = None) -> dict:
         if now is None:
             now = self.clock()
-        elapsed = now - self.started
+        # A first heartbeat can fire with zero rows done, and a resumed
+        # sweep can finish rows with zero elapsed wall time (all cache
+        # hits under a coarse clock).  Neither may divide by zero: no
+        # rows -> no rate -> no ETA; rows-in-no-time -> ETA now.
+        elapsed = max(0.0, now - self.started)
         remaining = max(0, self.total - self.done)
-        eta = elapsed / self.done * remaining if self.done else None
+        rate = self.done / elapsed if self.done > 0 and elapsed > 0 else None
+        if self.done <= 0:
+            eta = None
+        elif rate is None:
+            eta = 0.0
+        else:
+            eta = remaining / rate
         payload = {
             "label": self.label,
             "done": self.done,
             "total": self.total,
             "elapsed_s": round(elapsed, 3),
+            "rate_rows_per_s": round(rate, 6) if rate is not None else None,
             "eta_s": round(eta, 3) if eta is not None else None,
         }
         if self.cache is not None:
@@ -115,4 +126,58 @@ class Heartbeat:
         return ", ".join(parts)
 
 
-__all__ = ["DEFAULT_INTERVAL_S", "Heartbeat"]
+class TaskLiveness:
+    """Per-task deadline tracker for supervised executors.
+
+    The :class:`Heartbeat` answers "how far along is the sweep?"; this
+    answers the supervisor's question, "which in-flight task has been
+    out too long?".  Each dispatched task is registered with
+    :meth:`start` under its own deadline; :meth:`overdue` names the
+    tasks whose deadline has passed (a wedged worker, or a result lost
+    in flight) so the supervisor can kill and re-dispatch.  Clock
+    injection keeps deadline tests deterministic.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self.clock = clock
+        #: key -> (started_at, deadline) for in-flight tasks.
+        self._inflight: dict = {}
+
+    def start(self, key, timeout_s: float) -> None:
+        """Track ``key`` with a deadline ``timeout_s`` from now."""
+        now = self.clock()
+        self._inflight[key] = (now, now + timeout_s)
+
+    def finish(self, key) -> Optional[float]:
+        """Stop tracking ``key``; returns its elapsed seconds (``None``
+        if it was not in flight — finishing twice is not an error)."""
+        entry = self._inflight.pop(key, None)
+        if entry is None:
+            return None
+        started, _ = entry
+        return max(0.0, self.clock() - started)
+
+    def overdue(self, now: Optional[float] = None) -> list:
+        """Keys whose deadline has passed, oldest first."""
+        if now is None:
+            now = self.clock()
+        late = [
+            (deadline, key)
+            for key, (_, deadline) in self._inflight.items()
+            if now >= deadline
+        ]
+        return [key for _, key in sorted(late, key=lambda item: item[0])]
+
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    def oldest_age(self, now: Optional[float] = None) -> Optional[float]:
+        """Age in seconds of the longest-running in-flight task."""
+        if not self._inflight:
+            return None
+        if now is None:
+            now = self.clock()
+        return max(now - started for started, _ in self._inflight.values())
+
+
+__all__ = ["DEFAULT_INTERVAL_S", "Heartbeat", "TaskLiveness"]

@@ -14,6 +14,9 @@ deterministically reproducible inputs.  This package exploits both axes:
   tiers plus hit/miss counters;
 * :mod:`repro.perf.parallel` — the process-pool sweep engine behind
   ``--jobs N`` (Table 2, ablations, Figure 6 sweeps, reassignment);
+* :mod:`repro.perf.executor` — the ``SweepExecutor`` interface under
+  the sweep engine: the trusting process pool plus the supervised pool
+  (per-task deadlines, re-dispatch of lost tasks, circuit breaker);
 * :mod:`repro.perf.bench` — the ``repro bench`` harness that times
   serial vs parallel vs cached sweeps and records ``BENCH_table2.json``.
 
@@ -37,6 +40,15 @@ _EXPORTS = {
     "resolve_jobs": "repro.perf.parallel",
     "evaluate_many": "repro.perf.parallel",
     "run_table2_parallel": "repro.perf.parallel",
+    "EXECUTOR_KINDS": "repro.perf.executor",
+    "ExecutorDegradation": "repro.perf.executor",
+    "PoolSweepExecutor": "repro.perf.executor",
+    "SupervisedPoolExecutor": "repro.perf.executor",
+    "SweepExecutor": "repro.perf.executor",
+    "SweepTask": "repro.perf.executor",
+    "TaskResult": "repro.perf.executor",
+    "default_task_timeout": "repro.perf.executor",
+    "make_sweep_executor": "repro.perf.executor",
     "run_bench": "repro.perf.bench",
     "BenchReport": "repro.perf.bench",
 }

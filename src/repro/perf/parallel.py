@@ -34,11 +34,17 @@ Design notes:
   ``--resume`` picks up cleanly.  Workers ignore SIGINT themselves: the
   parent owns cancellation, so a Ctrl-C delivered to the process group
   cannot half-kill the pool.
+* The fan-out machinery itself lives behind
+  :class:`~repro.perf.executor.SweepExecutor`
+  (:mod:`repro.perf.executor`): ``--executor pool`` is the trusting
+  pool above; ``--executor supervised`` adds per-task deadlines,
+  dead/wedged-worker detection, bounded re-dispatch, and a circuit
+  breaker that finishes the sweep serially instead of hanging — the
+  multi-host failure model from the ROADMAP, exercised single-host.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import signal
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -47,7 +53,7 @@ from contextlib import contextmanager
 from dataclasses import replace
 from typing import Any, Callable, Optional, Sequence
 
-from repro.errors import ReproError, SweepInterrupted
+from repro.errors import ConfigError, ReproError, SweepInterrupted
 from repro.experiments.harness import (
     PARTS,
     BenchmarkEvaluation,
@@ -58,50 +64,45 @@ from repro.experiments.harness import (
     evaluate_part_with_retry,
     evaluate_workload_retrying,
 )
-from repro.perf.cache import ArtifactCache, CacheStats
+from repro.perf.cache import ArtifactCache
+from repro.perf.executor import (
+    SweepTask,
+    _pool,
+    _worker_cache,
+    make_sweep_executor,
+)
 
-#: The forked worker's process-local artifact cache.
-_WORKER_CACHE: Optional[ArtifactCache] = None
+#: Hard ceiling on explicit ``--jobs`` relative to the machine: beyond
+#: this the request is a typo (e.g. ``--jobs 1200`` for ``--jobs 12``),
+#: not a tuning choice — oversubscription past ~4x cores only thrashes.
+MAX_JOBS_FACTOR = 4
+MAX_JOBS_FLOOR = 64
 
 
 def resolve_jobs(jobs: int) -> int:
-    """``0`` (or negative) means one worker per CPU core."""
-    if jobs >= 1:
-        return jobs
-    return os.cpu_count() or 1
+    """Validate and resolve a ``--jobs`` request.
 
-
-def _init_worker(cache_dir) -> None:
-    global _WORKER_CACHE
-    _WORKER_CACHE = ArtifactCache(cache_dir)
-    # The parent coordinates interruption (cancel pending, drain running,
-    # journal, raise SweepInterrupted); a group-delivered Ctrl-C must not
-    # let workers die mid-task underneath it.
-    try:
-        signal.signal(signal.SIGINT, signal.SIG_IGN)
-    except (ValueError, OSError):  # pragma: no cover - exotic platforms
-        pass
-
-
-def _worker_cache() -> ArtifactCache:
-    global _WORKER_CACHE
-    if _WORKER_CACHE is None:
-        _WORKER_CACHE = ArtifactCache()
-    return _WORKER_CACHE
-
-
-def _pool(jobs: int, cache_dir=None) -> ProcessPoolExecutor:
-    """A process pool that forks where possible (state inheritance)."""
-    if "fork" in multiprocessing.get_all_start_methods():
-        context = multiprocessing.get_context("fork")
-    else:  # pragma: no cover - non-POSIX fallback
-        context = multiprocessing.get_context()
-    return ProcessPoolExecutor(
-        max_workers=jobs,
-        mp_context=context,
-        initializer=_init_worker,
-        initargs=(cache_dir,),
-    )
+    ``0`` means one worker per CPU core (the documented auto mode).
+    Negative values and absurd oversubscription (more than
+    ``max(4 * cores, 64)``) are configuration errors, not values to
+    silently clamp — a typo'd sweep should fail loudly before forking.
+    """
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigError(
+            f"--jobs must be >= 0 (0 = one worker per core), got {jobs}",
+            jobs=jobs,
+        )
+    ceiling = max(MAX_JOBS_FACTOR * (os.cpu_count() or 1), MAX_JOBS_FLOOR)
+    if jobs > ceiling:
+        raise ConfigError(
+            f"--jobs {jobs} exceeds the sanity ceiling of {ceiling} "
+            f"(4x this machine's cores); this is almost certainly a typo",
+            jobs=jobs,
+            ceiling=ceiling,
+        )
+    return jobs
 
 
 @contextmanager
@@ -138,6 +139,17 @@ def _interrupted(pool: ProcessPoolExecutor, futures, cause: str) -> SweepInterru
         if future.cancel():
             cancelled += 1
     pool.shutdown(wait=True, cancel_futures=True)
+    return SweepInterrupted(
+        "sweep interrupted; completed rows are journaled and the run is "
+        "resumable with --resume",
+        cause=cause,
+        cancelled_units=cancelled,
+    )
+
+
+def _executor_interrupted(executor, cause: str) -> SweepInterrupted:
+    """Orderly executor shutdown after an interrupt; returns the error."""
+    cancelled = executor.cancel()
     return SweepInterrupted(
         "sweep interrupted; completed rows are journaled and the run is "
         "resumable with --resume",
@@ -196,6 +208,7 @@ def run_table2_parallel(
     names: Sequence[str],
     options: EvaluationOptions,
     on_benchmark: Optional[Callable[[str, Any, int], None]] = None,
+    on_event: Optional[Callable[[str, dict], None]] = None,
 ) -> tuple[dict[str, BenchmarkEvaluation], list[BenchmarkFailure]]:
     """Fan a Table 2 sweep out to worker processes.
 
@@ -210,18 +223,28 @@ def run_table2_parallel(
     on, so a kill at any point loses at most in-flight benchmarks.
     Interrupts raise :class:`~repro.errors.SweepInterrupted` after every
     finished row has been delivered.
+
+    ``on_event(kind, payload)`` fires for executor-level incidents that
+    are not row outcomes — today only ``"executor_degradation"``, when
+    the supervised executor's circuit breaker abandoned its workers and
+    finished the sweep serially (the rows are still bit-identical; the
+    event is the audit trail).
     """
     jobs = resolve_jobs(options.jobs)
     cache = options.cache
     cache_dir = cache.cache_dir if cache is not None else None
     # Workers get a self-contained serial option set; the parent-side
-    # cache object is not shipped (each worker holds its own tier).
-    worker_options = replace(options, jobs=1, cache=None)
-    items = [(name, part, worker_options) for name in names for part in PARTS]
+    # cache object is not shipped (each worker holds its own tier), and
+    # worker-fault injection must not recurse into the task itself.
+    worker_options = replace(options, jobs=1, cache=None, worker_fault_plan=None)
+    tasks = [
+        SweepTask(benchmark=name, part=part, options=worker_options)
+        for name in names
+        for part in PARTS
+    ]
 
     results: dict[tuple[str, str], Any] = {}
     attempts_by_name: dict[str, int] = {name: 0 for name in names}
-    finished: set[str] = set()
     evaluations: dict[str, BenchmarkEvaluation] = {}
     failures_by_name: dict[str, BenchmarkFailure] = {}
 
@@ -235,18 +258,27 @@ def run_table2_parallel(
             outcomes: list[PartOutcome] = payloads
             outcome = assemble_evaluation(name, outcomes)
             evaluations[name] = outcome
-        finished.add(name)
         if on_benchmark is not None:
             on_benchmark(name, outcome, attempts_by_name[name])
 
-    with _pool(jobs, cache_dir) as pool, sweep_signals():
-        futures = [pool.submit(_sweep_task, item) for item in items]
-        pending = set(futures)
+    executor = make_sweep_executor(
+        options.executor,
+        _sweep_task,
+        jobs,
+        cache_dir,
+        trace_length=options.trace_length,
+        task_timeout=options.task_timeout,
+        redispatch_budget=options.redispatch_budget,
+        worker_fault_plan=options.worker_fault_plan,
+        seed=options.trace_seed,
+    )
+    with executor, sweep_signals():
         try:
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    name, part, payload, attempts, stats_delta = future.result()
+            for task in tasks:
+                executor.submit(task)
+            while executor.outstanding:
+                for task_result in executor.poll():
+                    name, part, payload, attempts, stats_delta = task_result.value
                     results[(name, part)] = payload
                     attempts_by_name[name] += attempts
                     if cache is not None:
@@ -254,7 +286,10 @@ def run_table2_parallel(
                     if all((name, p) in results for p in PARTS):
                         _finish_benchmark(name)
         except (KeyboardInterrupt, BrokenProcessPool) as error:
-            raise _interrupted(pool, pending, type(error).__name__) from None
+            raise _executor_interrupted(executor, type(error).__name__) from None
+    degradation = executor.degradation
+    if degradation is not None and on_event is not None:
+        on_event("executor_degradation", degradation.as_dict())
 
     failures = [failures_by_name[n] for n in names if n in failures_by_name]
     return evaluations, failures

@@ -50,7 +50,16 @@ from repro.robustness.faultinject import (
     corrupt_operand,
     truncate_trace,
 )
-from repro.robustness.journal import JournalEntry, RunJournal, options_fingerprint
+from repro.robustness.faultinject import WORKER_FAULT_KINDS
+from repro.robustness.journal import (
+    JournalEntry,
+    MergeReport,
+    RunJournal,
+    merge_journals,
+    options_fingerprint,
+    parse_journal_line,
+    shard_journal_paths,
+)
 from repro.robustness.retry import (
     AttemptRecord,
     RetryOutcome,
@@ -87,8 +96,13 @@ __all__ = [
     "atomic_write_json",
     "atomic_write_text",
     "JournalEntry",
+    "MergeReport",
     "RunJournal",
+    "WORKER_FAULT_KINDS",
+    "merge_journals",
     "options_fingerprint",
+    "parse_journal_line",
+    "shard_journal_paths",
     "AttemptRecord",
     "RetryOutcome",
     "RetryPolicy",

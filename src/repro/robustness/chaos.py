@@ -42,6 +42,7 @@ from repro.robustness.atomicio import atomic_write_json
 from repro.robustness.faultinject import (
     RUNTIME_FAULT_KINDS,
     TRACE_FAULT_KINDS,
+    WORKER_FAULT_KINDS,
     FaultPlan,
     FaultSpec,
 )
@@ -74,6 +75,12 @@ class ChaosConfig:
     max_faults: int = 2
     #: Retry attempts granted per evaluation part.
     max_attempts: int = 3
+    #: Inject executor-level worker faults (worker_kill / worker_stall /
+    #: worker_partition) against the supervised executor instead of
+    #: simulation-level faults.  Worker-fault rounds assert *bit
+    #: identity* to a serial reference — a lost worker must not change a
+    #: single stat — plus the usual journal-consistency contract.
+    worker_faults: bool = False
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -90,8 +97,10 @@ class ChaosConfig:
             raise ConfigError("chaos needs at least one benchmark")
 
 
-def _round_rng(seed: int, round_index: int) -> random.Random:
-    digest = hashlib.sha256(f"chaos|{seed}|{round_index}".encode()).digest()
+def _round_rng(
+    seed: int, round_index: int, salt: str = "chaos"
+) -> random.Random:
+    digest = hashlib.sha256(f"{salt}|{seed}|{round_index}".encode()).digest()
     return random.Random(int.from_bytes(digest[:8], "big"))
 
 
@@ -130,6 +139,34 @@ def random_fault_plan(
     return FaultPlan(specs=tuple(specs))
 
 
+def random_worker_fault_plan(
+    rng: random.Random,
+    benchmarks: tuple[str, ...],
+    max_faults: int,
+) -> FaultPlan:
+    """Draw a seeded executor-level fault schedule for one worker round.
+
+    Kinds cover the three ways a sweep loses work: a killed worker
+    (SIGKILL at task pickup), a wedged worker (stalls until the deadline
+    puts it down), and a partitioned worker (computes the result, then
+    drops it).  Mostly transient (``clear_after=1``: the re-dispatch
+    goes through clean), occasionally persistent (``None``: the task
+    keeps dying until the circuit breaker degrades the sweep to serial)
+    — both paths must end bit-identical to the serial reference.
+    """
+    specs = []
+    for _ in range(rng.randint(1, max_faults)):
+        specs.append(
+            FaultSpec(
+                kind=rng.choice(WORKER_FAULT_KINDS),
+                benchmark=rng.choice(benchmarks),
+                part=rng.choice((None,) + _PARTS),
+                clear_after=rng.choice((1, 1, 2, None)),
+            )
+        )
+    return FaultPlan(specs=tuple(specs))
+
+
 @dataclass
 class RoundReport:
     """What one chaos round did and whether the contract held."""
@@ -147,6 +184,9 @@ class RoundReport:
     #: Contract violations ("" when none): failures without bundles,
     #: bundles that did not reproduce, unloadable journal rows.
     violations: list[str] = field(default_factory=list)
+    #: Which harness produced the round: ``"fault-injection"``
+    #: (simulation-level faults) or ``"worker-faults"`` (executor-level).
+    mode: str = "fault-injection"
 
     @property
     def healthy(self) -> bool:
@@ -294,6 +334,131 @@ def _run_round(
     )
 
 
+def _run_worker_round(
+    config: ChaosConfig, round_index: int, run_dir: Path
+) -> RoundReport:
+    """One executor-level chaos round: supervised sweep vs serial truth.
+
+    The contract is stricter than the fault-injection rounds': worker
+    faults happen *outside* the simulation, so nothing may degrade —
+    every benchmark must complete, with every stat bit-identical
+    (``stats_fingerprint``) to a serial reference sweep, and the round's
+    shard journal must reload with every row loadable.
+    """
+    from repro.experiments.harness import EvaluationOptions
+    from repro.experiments.table2 import run_table2
+    from repro.perf.fingerprint import fingerprint
+    from repro.robustness.journal import RunJournal
+
+    rng = _round_rng(config.seed, round_index, salt="chaos-worker")
+    plan = random_worker_fault_plan(rng, config.benchmarks, config.max_faults)
+    options = EvaluationOptions(
+        trace_length=config.trace_length,
+        cycle_budget=config.trace_length * 30 + 10_000,
+    )
+    round_dir = run_dir / f"round-{round_index:02d}"
+    start = time.perf_counter()
+    violations: list[str] = []
+
+    def _fingerprints(result) -> dict[str, dict[str, str]]:
+        return {
+            row.benchmark: {
+                part: fingerprint(getattr(row.evaluation, part).stats.as_dict())
+                for part in _PARTS
+            }
+            for row in result.rows
+        }
+
+    reference = run_table2(list(config.benchmarks), options)
+    if reference.failures:  # pragma: no cover - benchmarks are healthy
+        violations.append("serial reference run failed; cannot judge round")
+        return RoundReport(
+            round_index=round_index,
+            fault_plan=plan.as_dict(),
+            completed_rows=0,
+            failed_rows=len(reference.failures),
+            retried_to_success=0,
+            bundles_verified=0,
+            elapsed_s=round(time.perf_counter() - start, 3),
+            violations=violations,
+            mode="worker-faults",
+        )
+
+    supervised_options = EvaluationOptions(
+        trace_length=config.trace_length,
+        cycle_budget=config.trace_length * 30 + 10_000,
+        jobs=max(2, config.jobs),
+        executor="supervised",
+        # Generous for a healthy task, short enough that a stalled or
+        # partitioned worker costs seconds, not a CI-visible hang.
+        task_timeout=max(5.0, config.trace_length / 100.0),
+        redispatch_budget=2,
+        worker_fault_plan=plan,
+    )
+    journal = RunJournal(round_dir, shard=f"chaos-{round_index:02d}")
+    try:
+        result = run_table2(
+            list(config.benchmarks), supervised_options, journal=journal
+        )
+    finally:
+        journal.close()
+
+    # Contract 1: worker faults never leak into row outcomes — every
+    # benchmark completes, none degrades.
+    for failure in result.failures:
+        violations.append(
+            f"{failure.benchmark}: worker fault leaked into a row failure "
+            f"({failure.error_type}: {failure.message})"
+        )
+    completed = {row.benchmark for row in result.rows}
+    for name in config.benchmarks:
+        if name not in completed and not any(
+            f.benchmark == name for f in result.failures
+        ):
+            violations.append(f"{name}: row lost by the supervised sweep")
+
+    # Contract 2: bit identity — every stat of every part matches the
+    # serial reference exactly.
+    want = _fingerprints(reference)
+    got = _fingerprints(result)
+    for name in sorted(want):
+        if name not in got:
+            continue  # already reported above
+        for part in _PARTS:
+            if want[name][part] != got[name][part]:
+                violations.append(
+                    f"{name}/{part}: stats fingerprint diverged from the "
+                    f"serial reference under worker faults"
+                )
+
+    # Contract 3: the shard journal survived — well-formed, no torn
+    # lines from killed workers (only the parent writes it), and every
+    # completed row loadable.
+    reopened = RunJournal(round_dir, shard=f"chaos-{round_index:02d}")
+    try:
+        if reopened.skipped_lines:
+            violations.append(
+                f"shard journal has {reopened.skipped_lines} torn line(s)"
+            )
+        for entry in reopened.entries():
+            if entry.status == "completed" and reopened.load_artifact(entry) is None:
+                violations.append(f"{entry.key}: journaled row unloadable")
+    finally:
+        reopened.close()
+
+    return RoundReport(
+        round_index=round_index,
+        fault_plan=plan.as_dict(),
+        completed_rows=len(result.rows),
+        failed_rows=len(result.failures),
+        retried_to_success=0,
+        bundles_verified=0,
+        elapsed_s=round(time.perf_counter() - start, 3),
+        violations=violations,
+        mode="worker-faults",
+    )
+
+
 def run_chaos(
     config: Optional[ChaosConfig] = None,
     run_dir: Union[str, Path, None] = None,
@@ -307,11 +472,12 @@ def run_chaos(
     then.
     """
     config = config or ChaosConfig()
+    round_fn = _run_worker_round if config.worker_faults else _run_round
     start = time.perf_counter()
     if run_dir is None:
         with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
             rounds = [
-                _run_round(config, i, Path(tmp)) for i in range(config.rounds)
+                round_fn(config, i, Path(tmp)) for i in range(config.rounds)
             ]
             report = HealthReport(
                 seed=config.seed,
@@ -321,7 +487,7 @@ def run_chaos(
         return report
     run_dir = Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)
-    rounds = [_run_round(config, i, run_dir) for i in range(config.rounds)]
+    rounds = [round_fn(config, i, run_dir) for i in range(config.rounds)]
     report = HealthReport(
         seed=config.seed, rounds=rounds, elapsed_s=time.perf_counter() - start
     )
@@ -335,5 +501,6 @@ __all__ = [
     "HealthReport",
     "RoundReport",
     "random_fault_plan",
+    "random_worker_fault_plan",
     "run_chaos",
 ]

@@ -233,6 +233,10 @@ RUNTIME_FAULT_KINDS = (
 )
 #: Trace corruption kinds (applied to the dynamic trace before validation).
 TRACE_FAULT_KINDS = ("truncate_trace", "corrupt_operand")
+#: Executor-level worker faults (injected at task pickup in a supervised
+#: worker, never inside the simulation): a SIGKILL'd worker, a wedged
+#: worker, and a result dropped after computation (a "partitioned" host).
+WORKER_FAULT_KINDS = ("worker_kill", "worker_stall", "worker_partition")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -256,12 +260,12 @@ class FaultSpec:
     clear_after: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in RUNTIME_FAULT_KINDS + TRACE_FAULT_KINDS:
+        valid = RUNTIME_FAULT_KINDS + TRACE_FAULT_KINDS + WORKER_FAULT_KINDS
+        if self.kind not in valid:
             from repro.errors import ConfigError
 
             raise ConfigError(
-                f"unknown fault kind {self.kind!r}; valid: "
-                f"{RUNTIME_FAULT_KINDS + TRACE_FAULT_KINDS}",
+                f"unknown fault kind {self.kind!r}; valid: {valid}",
                 kind=self.kind,
             )
 
@@ -349,6 +353,25 @@ class FaultPlan:
             and spec.active(benchmark, part, attempt)
             and (clusters is None or spec.cluster < clusters)
         ]
+
+    def worker_fault(
+        self, benchmark: str, part: str, dispatch: int
+    ) -> Optional[str]:
+        """The active worker-fault kind for this task dispatch, if any.
+
+        ``dispatch`` is the executor's 0-based dispatch count for the
+        task, so ``clear_after=1`` kills the first worker that picks the
+        task up and lets the re-dispatch through clean — the transient
+        host loss the supervised executor exists to survive, while
+        ``clear_after=None`` models a persistently poisoned task that
+        must trip the circuit breaker.
+        """
+        for spec in self.specs:
+            if spec.kind in WORKER_FAULT_KINDS and spec.active(
+                benchmark, part, dispatch
+            ):
+                return spec.kind
+        return None
 
     def apply_trace_faults(
         self,

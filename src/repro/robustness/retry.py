@@ -103,6 +103,11 @@ class RetryPolicy:
                 "retry jitter must be within [0, 1]", jitter=self.jitter
             )
 
+    def schedule(self, token: str) -> list[float]:
+        """This policy's deterministic delay schedule for ``token``
+        (see :func:`backoff_schedule`)."""
+        return backoff_schedule(self, token)
+
 
 def backoff_schedule(policy: RetryPolicy, token: str) -> list[float]:
     """The full delay schedule (seconds) for one run token.

@@ -2,7 +2,7 @@
 
 import logging
 
-from repro.obs.heartbeat import Heartbeat
+from repro.obs.heartbeat import Heartbeat, TaskLiveness
 from repro.perf.cache import ArtifactCache
 from repro.robustness.journal import RunJournal
 
@@ -63,6 +63,74 @@ class TestSnapshot:
 
     def test_no_eta_before_first_row(self):
         assert Heartbeat(4, clock=FakeClock()).snapshot()["eta_s"] is None
+
+    def test_zero_elapsed_with_rows_done_is_eta_now(self):
+        # A resumed sweep can finish rows in zero wall time (all cache
+        # hits under a coarse clock): ETA must be 0.0, not a crash.
+        clock = FakeClock()
+        hb = Heartbeat(4, interval_s=None, clock=clock)
+        hb.note()
+        snap = hb.snapshot()
+        assert snap["elapsed_s"] == 0.0
+        assert snap["eta_s"] == 0.0
+        assert snap["rate_rows_per_s"] is None
+
+    def test_zero_rows_zero_elapsed_is_silent_none(self):
+        snap = Heartbeat(4, interval_s=None, clock=FakeClock()).snapshot()
+        assert snap["eta_s"] is None
+        assert snap["rate_rows_per_s"] is None
+
+    def test_rate_reported_once_measurable(self):
+        clock = FakeClock()
+        hb = Heartbeat(4, interval_s=None, clock=clock)
+        hb.note()
+        hb.note()
+        clock.now += 4
+        assert hb.snapshot()["rate_rows_per_s"] == 0.5
+
+    def test_zero_total_does_not_divide_by_zero(self):
+        clock = FakeClock()
+        hb = Heartbeat(0, interval_s=None, clock=clock)
+        payload = hb.snapshot()
+        assert hb._format(payload)  # percent math guards total == 0
+
+
+class TestTaskLiveness:
+    def test_overdue_names_expired_tasks_oldest_first(self):
+        clock = FakeClock()
+        liveness = TaskLiveness(clock=clock)
+        liveness.start("late", timeout_s=5.0)
+        clock.now += 1
+        liveness.start("later", timeout_s=5.0)
+        liveness.start("fine", timeout_s=60.0)
+        assert liveness.overdue() == []
+        clock.now += 6
+        assert liveness.overdue() == ["late", "later"]
+
+    def test_finish_returns_elapsed_and_clears(self):
+        clock = FakeClock()
+        liveness = TaskLiveness(clock=clock)
+        liveness.start("t", timeout_s=10.0)
+        clock.now += 3
+        assert liveness.finish("t") == 3.0
+        assert liveness.in_flight() == 0
+        assert liveness.overdue() == []
+
+    def test_double_finish_is_not_an_error(self):
+        liveness = TaskLiveness(clock=FakeClock())
+        liveness.start("t", timeout_s=10.0)
+        assert liveness.finish("t") == 0.0
+        assert liveness.finish("t") is None
+
+    def test_oldest_age_tracks_longest_runner(self):
+        clock = FakeClock()
+        liveness = TaskLiveness(clock=clock)
+        assert liveness.oldest_age() is None
+        liveness.start("a", timeout_s=100.0)
+        clock.now += 2
+        liveness.start("b", timeout_s=100.0)
+        clock.now += 3
+        assert liveness.oldest_age() == 5.0
 
     def test_cache_and_journal_fields(self, tmp_path):
         cache = ArtifactCache()

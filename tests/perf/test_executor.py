@@ -1,0 +1,266 @@
+"""The SweepExecutor interface: supervision, deadlines, re-dispatch."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.harness import EvaluationOptions
+from repro.experiments.table2 import run_table2
+from repro.perf.executor import (
+    MIN_TASK_TIMEOUT,
+    PoolSweepExecutor,
+    SupervisedPoolExecutor,
+    SweepTask,
+    default_task_timeout,
+    make_sweep_executor,
+)
+from repro.perf.fingerprint import fingerprint
+from repro.robustness.faultinject import FaultPlan, FaultSpec
+from repro.robustness.journal import RunJournal
+
+TL = 600
+
+
+def _echo_task(payload):
+    """Module-level task function (workers import it by name)."""
+    name, part, options = payload
+    return (name, part, f"value:{name}:{part}", 1, None)
+
+
+def _run_all(executor, tasks):
+    """Submit everything, poll until drained; results keyed by token."""
+    with executor:
+        for task in tasks:
+            executor.submit(task)
+        out = {}
+        while executor.outstanding:
+            for result in executor.poll():
+                out[result.task.token] = result
+    return out
+
+
+def _tasks(n=3):
+    return [SweepTask(benchmark=f"b{i}", part="single") for i in range(n)]
+
+
+class TestPoolExecutor:
+    def test_delivers_every_task(self):
+        results = _run_all(PoolSweepExecutor(_echo_task, jobs=2), _tasks(4))
+        assert len(results) == 4
+        assert results["b0:single"].value[2] == "value:b0:single"
+
+    def test_no_degradation_on_happy_path(self):
+        pool = PoolSweepExecutor(_echo_task, jobs=2)
+        _run_all(pool, _tasks(2))
+        assert pool.degradation is None
+
+
+class TestSupervisedHappyPath:
+    def test_delivers_every_task_once(self):
+        sup = SupervisedPoolExecutor(_echo_task, jobs=2, task_timeout=30.0)
+        results = _run_all(sup, _tasks(5))
+        assert len(results) == 5
+        assert all(r.dispatches == 1 for r in results.values())
+        assert sup.degradation is None
+        assert sup.worker_deaths == 0
+
+    def test_duplicate_submit_rejected(self):
+        with SupervisedPoolExecutor(_echo_task, jobs=1, task_timeout=30.0) as sup:
+            sup.submit(SweepTask(benchmark="x", part="single"))
+            with pytest.raises(ConfigError, match="already submitted"):
+                sup.submit(SweepTask(benchmark="x", part="single"))
+
+    def test_metrics_count_dispatches(self):
+        sup = SupervisedPoolExecutor(_echo_task, jobs=2, task_timeout=30.0)
+        _run_all(sup, _tasks(3))
+        snapshot = sup.metrics.snapshot()
+        assert snapshot["executor_dispatches"] == 3
+        assert snapshot["executor_tasks_completed"] == 3
+        assert snapshot["executor_worker_deaths"] == 0
+
+
+class TestSupervisedFaults:
+    def test_killed_worker_is_survived(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="worker_kill", benchmark="b1", clear_after=1),)
+        )
+        sup = SupervisedPoolExecutor(
+            _echo_task, jobs=2, task_timeout=30.0, worker_fault_plan=plan
+        )
+        results = _run_all(sup, _tasks(3))
+        assert len(results) == 3
+        assert results["b1:single"].dispatches == 2
+        assert sup.worker_deaths >= 1
+        assert sup.redispatches == 1
+        assert sup.degradation is None
+
+    def test_stalled_worker_hits_deadline(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="worker_stall", benchmark="b0", clear_after=1),)
+        )
+        sup = SupervisedPoolExecutor(
+            _echo_task, jobs=2, task_timeout=1.0, worker_fault_plan=plan
+        )
+        results = _run_all(sup, _tasks(2))
+        assert len(results) == 2
+        assert results["b0:single"].dispatches == 2
+        assert sup.metrics.snapshot()["executor_deadline_expirations"] >= 1
+        assert sup.degradation is None
+
+    def test_partitioned_result_is_recovered(self):
+        # The worker computes the value and drops it; only the deadline
+        # can notice, and the re-dispatch must still come home.
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="worker_partition", benchmark="b2", clear_after=1),
+            )
+        )
+        sup = SupervisedPoolExecutor(
+            _echo_task, jobs=2, task_timeout=1.0, worker_fault_plan=plan
+        )
+        results = _run_all(sup, _tasks(3))
+        assert len(results) == 3
+        assert results["b2:single"].dispatches == 2
+        assert sup.degradation is None
+
+
+class TestCircuitBreaker:
+    def test_persistent_kill_degrades_to_serial(self):
+        # clear_after=None: the task kills every worker that picks it
+        # up.  The breaker must trip and the sweep must still complete.
+        plan = FaultPlan(specs=(FaultSpec(kind="worker_kill", benchmark="b0"),))
+        sup = SupervisedPoolExecutor(
+            _echo_task,
+            jobs=2,
+            task_timeout=30.0,
+            redispatch_budget=1,
+            worker_fault_plan=plan,
+        )
+        results = _run_all(sup, _tasks(3))
+        assert len(results) == 3  # every task still delivered
+        assert results["b0:single"].value[2] == "value:b0:single"
+        assert sup.degradation is not None
+        assert sup.degradation.reason == "circuit-breaker"
+        assert "budget 1 exhausted" in sup.degradation.detail
+        assert sup.metrics.snapshot()["executor_degradations"] == 1
+
+    def test_death_budget_trips_breaker(self):
+        # Kills spread across distinct tasks: no single task exhausts
+        # its budget, but the pool-wide death budget must still trip.
+        plan = FaultPlan(specs=(FaultSpec(kind="worker_kill"),))  # every task
+        sup = SupervisedPoolExecutor(
+            _echo_task,
+            jobs=2,
+            task_timeout=30.0,
+            redispatch_budget=10,
+            max_worker_deaths=3,
+            worker_fault_plan=plan,
+        )
+        results = _run_all(sup, _tasks(6))
+        assert len(results) == 6
+        assert sup.degradation is not None
+        assert sup.worker_deaths > 3
+
+    def test_breaker_keeps_results_bit_identical(self, tmp_path):
+        serial = run_table2(["compress"], EvaluationOptions(trace_length=TL))
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="worker_kill", benchmark="compress",
+                             part="single"),)
+        )
+        journal = RunJournal(tmp_path)
+        degraded = run_table2(
+            ["compress"],
+            EvaluationOptions(
+                trace_length=TL,
+                jobs=2,
+                executor="supervised",
+                task_timeout=60.0,
+                redispatch_budget=0,
+                worker_fault_plan=plan,
+                heartbeat_interval=None,
+            ),
+            journal=journal,
+        )
+        assert degraded.failures == []
+        s_ev, d_ev = serial.rows[0].evaluation, degraded.rows[0].evaluation
+        for part in ("single", "dual_none", "dual_local"):
+            assert (
+                getattr(d_ev, part).stats.as_dict()
+                == getattr(s_ev, part).stats.as_dict()
+            )
+        # The degradation is a durable journal event, not a crash.
+        reopened = RunJournal(tmp_path)
+        kinds = [event.get("kind") for event in reopened.events]
+        assert "executor_degradation" in kinds
+
+
+class TestAcceptanceWorkerKill:
+    def test_sweep_losing_a_worker_is_bit_identical_to_serial(self):
+        """ISSUE 6 acceptance: SIGKILL mid-run, identical fingerprints."""
+        serial = run_table2(["compress"], EvaluationOptions(trace_length=TL))
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="worker_kill", benchmark="compress",
+                             part="dual_none", clear_after=1),)
+        )
+        survived = run_table2(
+            ["compress"],
+            EvaluationOptions(
+                trace_length=TL,
+                jobs=2,
+                executor="supervised",
+                task_timeout=60.0,
+                worker_fault_plan=plan,
+                heartbeat_interval=None,
+            ),
+        )
+        assert survived.failures == []
+        for row_s, row_k in zip(serial.rows, survived.rows):
+            for part in ("single", "dual_none", "dual_local"):
+                want = fingerprint(
+                    getattr(row_s.evaluation, part).stats.as_dict()
+                )
+                got = fingerprint(
+                    getattr(row_k.evaluation, part).stats.as_dict()
+                )
+                assert got == want, f"{row_s.benchmark}/{part} diverged"
+
+
+class TestFactoryAndTimeouts:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown sweep executor"):
+            make_sweep_executor("threads", _echo_task, 2)
+
+    def test_default_timeout_scales_with_trace_length(self):
+        assert default_task_timeout(0) == MIN_TASK_TIMEOUT
+        assert default_task_timeout(120_000) > MIN_TASK_TIMEOUT
+        assert default_task_timeout(10 ** 6) > default_task_timeout(10 ** 5)
+
+    def test_invalid_supervised_knobs_rejected(self):
+        with pytest.raises(ConfigError, match="task_timeout"):
+            SupervisedPoolExecutor(_echo_task, jobs=1, task_timeout=0.0)
+        with pytest.raises(ConfigError, match="budget"):
+            SupervisedPoolExecutor(
+                _echo_task, jobs=1, task_timeout=1.0, redispatch_budget=-1
+            )
+
+    def test_factory_builds_both_kinds(self):
+        pool = make_sweep_executor("pool", _echo_task, 1)
+        sup = make_sweep_executor(
+            "supervised", _echo_task, 1, trace_length=1000
+        )
+        try:
+            assert isinstance(pool, PoolSweepExecutor)
+            assert isinstance(sup, SupervisedPoolExecutor)
+            assert sup.task_timeout == default_task_timeout(1000)
+        finally:
+            pool.close()
+            sup.close()
+
+
+class TestCancel:
+    def test_cancel_reports_undelivered_tasks(self):
+        sup = SupervisedPoolExecutor(_echo_task, jobs=1, task_timeout=30.0)
+        for task in _tasks(3):
+            sup.submit(task)
+        cancelled = sup.cancel()
+        assert cancelled == 3
+        assert sup.outstanding == 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CompileError
+from repro.errors import CompileError, ConfigError
 from repro.experiments.ablations import run_assignment_ablation, run_queue_size_ablation
 from repro.experiments.figure6 import run_figure6_sweep
 from repro.experiments.harness import EvaluationOptions
@@ -37,6 +37,27 @@ class TestResolveJobs:
         import os
 
         assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_is_a_config_error(self):
+        # Negative worker counts used to be silently clamped; a typo'd
+        # ``--jobs -2`` must be loud instead.
+        with pytest.raises(ConfigError, match="jobs"):
+            resolve_jobs(-1)
+        with pytest.raises(ConfigError):
+            resolve_jobs(-100)
+
+    def test_absurd_oversubscription_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="exceeds"):
+            resolve_jobs(10_000)
+
+    def test_moderate_oversubscription_is_allowed(self):
+        import os
+
+        # Up to 4x the cores (floor 64) is legitimate oversubscription.
+        ceiling = max(4 * (os.cpu_count() or 1), 64)
+        assert resolve_jobs(ceiling) == ceiling
+        with pytest.raises(ConfigError):
+            resolve_jobs(ceiling + 1)
 
 
 class TestParallelMap:

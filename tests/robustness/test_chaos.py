@@ -10,10 +10,14 @@ from repro.robustness.chaos import (
     HealthReport,
     RoundReport,
     random_fault_plan,
+    random_worker_fault_plan,
     run_chaos,
 )
 
 QUICK = dict(rounds=2, benchmarks=("compress",), trace_length=800)
+WORKER_QUICK = dict(
+    rounds=1, benchmarks=("compress",), trace_length=600, jobs=2
+)
 
 
 class TestChaosConfig:
@@ -96,3 +100,34 @@ class TestChaosSoak:
         report = run_chaos(ChaosConfig(seed=1234, **QUICK))
         assert "HEALTHY" in report.format()
         assert "seed=1234" in report.format()
+
+
+class TestWorkerFaultRounds:
+    def test_worker_fault_plans_are_seeded(self):
+        import random
+
+        from repro.robustness.faultinject import WORKER_FAULT_KINDS
+
+        a = random_worker_fault_plan(random.Random(7), ("compress",), 3)
+        b = random_worker_fault_plan(random.Random(7), ("compress",), 3)
+        assert a == b
+        assert all(spec.kind in WORKER_FAULT_KINDS for spec in a.specs)
+
+    def test_worker_round_is_healthy_and_bit_identical(self, tmp_path):
+        """The executor contract under seeded worker chaos: no leaked
+        failures, stats bit-identical to serial, shard journal loadable."""
+        run_dir = tmp_path / "chaos"
+        report = run_chaos(
+            ChaosConfig(seed=4321, worker_faults=True, **WORKER_QUICK),
+            run_dir=run_dir,
+        )
+        assert report.healthy, [r.violations for r in report.rounds]
+        assert report.exit_code == 0
+        round_report = report.rounds[0]
+        assert round_report.mode == "worker-faults"
+        assert round_report.violations == []
+        assert round_report.completed_rows == 1
+        assert round_report.failed_rows == 0
+        # The round journals into a shard, the sharded-sweep path.
+        shard = run_dir / "round-00" / "journal-chaos-00.jsonl"
+        assert shard.exists()

@@ -105,6 +105,7 @@ def _evaluation_options(args: argparse.Namespace):
         executor=getattr(args, "executor", "pool"),
         task_timeout=getattr(args, "task_timeout", None),
         redispatch_budget=getattr(args, "redispatch_budget", 2),
+        engine=getattr(args, "engine", None),
     )
 
 
@@ -238,6 +239,7 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         sample_interval=None,
         attribute_stalls=False,
         cache=_make_cache(args),
+        engine=args.engine,
     )
     first, last = args.window
     print(f"{args.benchmark} on {run.result.config_name}: {run.result.cycles} cycles")
@@ -279,6 +281,7 @@ def _cmd_stats(args: argparse.Namespace) -> None:
             trace_length=args.trace_length,
             sample_interval=args.interval,
             cache=cache,
+            engine=args.engine,
         )
         for machine in machines
     ]
@@ -347,6 +350,14 @@ def _add_perf_flags(
         metavar="N",
         help="re-dispatches allowed per task after a lost worker before "
         "the supervised executor degrades the sweep to serial",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["reference", "batched"],
+        default=None,
+        help="simulation kernel: 'reference' is the straight-line event "
+        "model, 'batched' the fused hot-loop kernel (bit-identical "
+        "stats, several times faster); default: the config's choice",
     )
     if cache_flags:
         parser.add_argument(
@@ -520,6 +531,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     be.add_argument("--output", default="BENCH_table2.json")
     be.add_argument("--cache-dir", default=None, metavar="DIR")
+    be.add_argument(
+        "--min-engine-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail if the batched kernel's simulation-only speedup over "
+        "the reference kernel drops below X (default: the committed "
+        "floor; 0 disables the gate)",
+    )
     be.set_defaults(func=_cmd_bench)
 
     rep = sub.add_parser(
@@ -612,6 +632,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally stream every pipeline event to FILE (JSONL)",
     )
     tr.add_argument("--cache-dir", default=None, metavar="DIR")
+    tr.add_argument(
+        "--engine",
+        choices=["reference", "batched"],
+        default=None,
+        help="simulation kernel (bit-identical stats; see 'bench')",
+    )
     tr.set_defaults(func=_cmd_trace)
 
     st = sub.add_parser(
@@ -647,6 +673,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(single machine only)",
     )
     st.add_argument("--cache-dir", default=None, metavar="DIR")
+    st.add_argument(
+        "--engine",
+        choices=["reference", "batched"],
+        default=None,
+        help="simulation kernel (bit-identical stats; see 'bench')",
+    )
+
     st.set_defaults(func=_cmd_stats)
 
     for command_parser in set(sub.choices.values()):
@@ -725,6 +758,7 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         jobs=args.jobs,
         output=args.output,
         cache_dir=args.cache_dir,
+        min_engine_speedup=args.min_engine_speedup,
     )
     print(report.format())
     print(f"wrote {args.output}")

@@ -42,6 +42,7 @@ from repro.robustness.faultinject import FaultPlan
 from repro.robustness.retry import RetryPolicy, run_with_retry
 from repro.robustness.validate import validate_run, validate_trace_length
 from repro.uarch.config import ProcessorConfig, dual_cluster_config, single_cluster_config
+from repro.uarch.engine import make_processor
 from repro.uarch.processor import Processor, SimulationResult, simulate
 from repro.workloads.generator import Workload
 from repro.workloads.spec92 import DEFAULT_TRACE_LENGTH
@@ -149,6 +150,12 @@ class EvaluationOptions:
     validate: bool = True
     #: Enable the simulator's per-cycle invariant checker.
     self_check: bool = False
+    #: Simulation kernel override: ``"reference"`` / ``"batched"``
+    #: (``ProcessorConfig.engine``); ``None`` respects whatever the
+    #: configs already say.  Excluded from ``options_fingerprint`` — the
+    #: engines are bit-identical, so the knob never changes row values
+    #: (enforced by tests/uarch/test_engine_identity.py).
+    engine: Optional[str] = None
     #: Watchdog cycle budget per simulation (0 = derived default).
     cycle_budget: int = 0
     #: Worker processes for sweeps (1 = serial; 0 = one per CPU core).
@@ -191,13 +198,18 @@ class EvaluationOptions:
     worker_fault_plan: Optional["FaultPlan"] = None
 
     def apply_robustness(self, config: ProcessorConfig) -> ProcessorConfig:
-        """Thread the self-check / cycle-budget knobs into a machine config."""
-        if config.self_check == self.self_check and not self.cycle_budget:
+        """Thread the self-check / cycle-budget / engine knobs into a config."""
+        if (
+            config.self_check == self.self_check
+            and not self.cycle_budget
+            and (self.engine is None or config.engine == self.engine)
+        ):
             return config
         return replace(
             config,
             self_check=self.self_check,
             cycle_budget=self.cycle_budget or config.cycle_budget,
+            engine=self.engine or config.engine,
         )
 
 
@@ -300,7 +312,7 @@ def evaluate_workload_part(
             config, assignment, trace, compiled.machine, benchmark=workload.name
         )
     if plan:
-        processor = Processor(config, assignment)
+        processor = make_processor(config, assignment)
         for fault in plan.runtime_faults(
             workload.name,
             part,

@@ -34,7 +34,8 @@ from repro.obs.trace import JsonlSink, MemorySink, RingSink, TraceRecorder, Trac
 from repro.perf.cache import ArtifactCache
 from repro.robustness.validate import validate_run, validate_trace_length
 from repro.uarch.config import dual_cluster_config, single_cluster_config
-from repro.uarch.processor import Processor, SimulationResult
+from repro.uarch.engine import make_processor
+from repro.uarch.processor import SimulationResult
 from repro.workloads.spec92 import DEFAULT_TRACE_LENGTH, SPEC92
 
 #: Machine selectors accepted by ``repro trace``/``repro stats``.
@@ -83,6 +84,7 @@ def observe_benchmark(
     sample_interval: Optional[int] = DEFAULT_SAMPLE_INTERVAL,
     attribute_stalls: bool = True,
     cache: Optional[ArtifactCache] = None,
+    engine: Optional[str] = None,
     options: Optional["EvaluationOptions"] = None,
 ) -> ObservedRun:
     """Run ``name`` on ``machine`` with observability attached.
@@ -98,8 +100,11 @@ def observe_benchmark(
             accounting; see :mod:`repro.obs.stall`).
         cache: artifact cache to compile/trace through (fresh in-memory
             one when unset).
+        engine: simulation kernel override (``"reference"`` /
+            ``"batched"``); both produce bit-identical stats.
         options: full :class:`EvaluationOptions` override; its
-            ``trace_length``/``trace_seed`` win over the keywords.
+            ``trace_length``/``trace_seed``/``engine`` win over the
+            keywords.
     """
     from repro.experiments.harness import (
         EvaluationOptions,
@@ -117,7 +122,7 @@ def observe_benchmark(
         raise _unknown_benchmark(name, SPEC92)
     if options is None:
         options = EvaluationOptions(
-            trace_length=trace_length, trace_seed=trace_seed
+            trace_length=trace_length, trace_seed=trace_seed, engine=engine
         )
     validate_trace_length(options.trace_length, benchmark=name)
     if cache is None:
@@ -148,7 +153,7 @@ def observe_benchmark(
         assignment = options.dual_assignment or RegisterAssignment.even_odd_dual()
     validate_run(config, assignment, trace, compiled.machine, benchmark=name)
 
-    processor = Processor(config, assignment)
+    processor = make_processor(config, assignment)
     sinks: list[TraceSink] = []
     if record_events:
         sinks.append(MemorySink())

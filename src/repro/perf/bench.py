@@ -9,6 +9,16 @@ Four sweeps over the same benchmark set, in order:
 4. **cache-warm** — serial against the now-populated cache (measures what
    a re-run of an unchanged experiment costs).
 
+Then an **engine comparison**: every Table 2 part simulated once per
+kernel (``reference`` vs ``batched``) against a shared in-memory
+artifact cache, so compile + tracegen are paid outside the timed region
+and the timings isolate *simulation* — the engine's actual surface.
+(Sweep wall-clock is dominated by compilation for the larger benchmarks,
+which would dilute the kernel speedup to noise.)  The report records the
+per-engine seconds, the speedup, and the per-part fingerprints; CI's
+perf-smoke job fails when the speedup drops below the committed
+:data:`ENGINE_SPEEDUP_FLOOR` or when either kernel's stats diverge.
+
 Every sweep must produce bit-identical rows — the harness checks this
 and records the verdict in the report; a divergence raises
 :class:`~repro.errors.SimulationError` *after* the report is written, so
@@ -38,10 +48,19 @@ from repro.robustness.atomicio import atomic_write_json
 from repro.workloads.spec92 import DEFAULT_TRACE_LENGTH, SPEC92
 
 #: JSON schema version of BENCH_table2.json.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Trace length used by ``repro bench --quick`` (CI's perf-smoke job).
 QUICK_TRACE_LENGTH = 2_000
+
+#: Committed floor for the batched kernel's simulation-only speedup over
+#: the reference kernel.  Measured 2.7-3.2x on the full Table 2 suite at
+#: 40k-instruction traces, but CI's ``--quick`` 2k traces amortise the
+#: per-run setup (dispatch-recipe/column builds) over far fewer cycles
+#: and measure ~2.1x; the floor sits well under that so machine/timing
+#: noise does not flake the perf-smoke gate, while still catching a real
+#: regression of the fused hot loop (see DESIGN.md §14).
+ENGINE_SPEEDUP_FLOOR = 1.5
 
 
 @dataclass
@@ -58,6 +77,11 @@ class BenchReport:
     cache_stats: dict[str, dict]
     identical: bool
     divergences: list[str] = field(default_factory=list)
+    #: Simulation-only seconds per kernel ("reference" / "batched") and
+    #: the resulting speedup, from the engine comparison stage.
+    engine_timings_s: dict[str, float] = field(default_factory=dict)
+    engine_speedup: float = 0.0
+    engine_floor: float = ENGINE_SPEEDUP_FLOOR
     timestamp: str = ""
     python: str = ""
     cpu_count: int = 0
@@ -72,6 +96,11 @@ class BenchReport:
             "trace_length": self.trace_length,
             "jobs": self.jobs,
             "timings_s": self.timings_s,
+            "engine": {
+                "timings_s": self.engine_timings_s,
+                "speedup": self.engine_speedup,
+                "floor": self.engine_floor,
+            },
             "rows": self.rows,
             "cache_stats": self.cache_stats,
             "identical": self.identical,
@@ -90,6 +119,14 @@ class BenchReport:
             if serial and name != "serial":
                 speedup = f"  ({serial / seconds:.2f}x vs serial)"
             lines.append(f"{name:<12} {seconds:>9.3f}{speedup}")
+        ref = self.engine_timings_s.get("reference")
+        bat = self.engine_timings_s.get("batched")
+        if ref is not None and bat is not None:
+            lines.append(
+                f"engine (simulation only): reference {ref:.3f}s, "
+                f"batched {bat:.3f}s -> {self.engine_speedup:.2f}x "
+                f"(floor {self.engine_floor:.2f}x)"
+            )
         lines.append(f"rows bit-identical across sweeps: {self.identical}")
         for divergence in self.divergences:
             lines.append(f"  divergence: {divergence}")
@@ -154,6 +191,51 @@ def _compare(name: str, baseline: list[dict], candidate: list[dict]) -> list[str
     return divergences or [f"{name}: rows differ"]
 
 
+def _time_engines(
+    names: Sequence[str], trace_length: int
+) -> tuple[dict[str, float], dict[str, dict[str, str]]]:
+    """Time each simulation kernel over every Table 2 part.
+
+    One in-memory :class:`ArtifactCache` is prewarmed first, so the
+    timed loops hit the cache for compile + tracegen and measure
+    simulation alone.  Returns ``(seconds per engine, fingerprints)``
+    where fingerprints maps ``"bench/part"`` -> per-engine stats
+    fingerprint, for the bit-identity check against the serial sweep.
+    """
+    from repro.experiments.harness import PARTS, evaluate_workload_part
+
+    cache = ArtifactCache()
+    workloads = {name: SPEC92[name]() for name in names}
+    warm = EvaluationOptions(
+        trace_length=trace_length, cache=cache, engine="batched"
+    )
+    for name in names:
+        for part in PARTS:
+            evaluate_workload_part(workloads[name], part, warm, cache)
+
+    timings: dict[str, float] = {}
+    fingerprints: dict[str, dict[str, str]] = {}
+    for engine in ("reference", "batched"):
+        options = EvaluationOptions(
+            trace_length=trace_length, cache=cache, engine=engine
+        )
+        outcomes = []
+        start = time.perf_counter()
+        for name in names:
+            for part in PARTS:
+                outcomes.append(
+                    (name, part, evaluate_workload_part(
+                        workloads[name], part, options, cache
+                    ))
+                )
+        timings[engine] = time.perf_counter() - start
+        for name, part, outcome in outcomes:
+            fingerprints.setdefault(f"{name}/{part}", {})[engine] = fingerprint(
+                outcome.sim.stats.as_dict()
+            )
+    return timings, fingerprints
+
+
 def run_bench(
     benchmarks: Optional[Sequence[str]] = None,
     trace_length: Optional[int] = None,
@@ -161,6 +243,7 @@ def run_bench(
     jobs: int = 0,
     output: Optional[os.PathLike] = "BENCH_table2.json",
     cache_dir: Optional[os.PathLike] = None,
+    min_engine_speedup: Optional[float] = None,
 ) -> BenchReport:
     """Run the four timed sweeps and write the report.
 
@@ -176,10 +259,16 @@ def run_bench(
         cache_dir: directory for the disk cache tier; default is a fresh
             temporary directory (hermetic — timings never depend on a
             previous bench run's leftovers).
+        min_engine_speedup: perf-regression floor for the batched
+            kernel's simulation-only speedup; ``None`` uses the
+            committed :data:`ENGINE_SPEEDUP_FLOOR`, ``0`` disables the
+            gate (the comparison still runs and is still recorded).
 
     Raises:
         SimulationError: if any sweep's rows diverge from the serial
-            sweep's (raised after the report is written).
+            sweep's, the two kernels disagree on any stats fingerprint,
+            or the batched kernel's speedup falls below the floor (all
+            raised after the report is written).
     """
     names = list(benchmarks) if benchmarks is not None else sorted(SPEC92)
     if trace_length is None:
@@ -223,6 +312,9 @@ def run_bench(
         if own_tmp is not None:
             own_tmp.cleanup()
 
+    engine_timings, engine_fps = _time_engines(names, trace_length)
+    engine_speedup = engine_timings["reference"] / engine_timings["batched"]
+
     baseline = _rows_payload(serial)
     divergences = []
     for label, result in (
@@ -231,6 +323,29 @@ def run_bench(
         ("cache-warm", warm),
     ):
         divergences.extend(_compare(label, baseline, _rows_payload(result)))
+
+    # Kernel bit-identity: reference vs batched, and both against the
+    # serial sweep's fingerprints (same trace length/seed/options).
+    serial_fps = {
+        f"{row['benchmark']}/{part}": fp
+        for row in baseline
+        for part, fp in row.get("stats_fingerprint", {}).items()
+    }
+    for key, by_engine in engine_fps.items():
+        if by_engine["reference"] != by_engine["batched"]:
+            divergences.append(
+                f"engine: {key} fingerprints differ "
+                f"(reference {by_engine['reference']} "
+                f"vs batched {by_engine['batched']})"
+            )
+        expected = serial_fps.get(key)
+        if expected is not None and by_engine["reference"] != expected:
+            divergences.append(
+                f"engine: {key} reference fingerprint differs from the "
+                f"serial sweep ({by_engine['reference']} vs {expected})"
+            )
+
+    floor = ENGINE_SPEEDUP_FLOOR if min_engine_speedup is None else min_engine_speedup
 
     report = BenchReport(
         benchmarks=names,
@@ -241,6 +356,9 @@ def run_bench(
         cache_stats=cache_stats,
         identical=not divergences,
         divergences=divergences,
+        engine_timings_s={k: round(v, 6) for k, v in engine_timings.items()},
+        engine_speedup=round(engine_speedup, 4),
+        engine_floor=floor,
         timestamp=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         python=platform.python_version(),
         cpu_count=os.cpu_count() or 1,
@@ -256,6 +374,14 @@ def run_bench(
             "bench sweeps are not bit-identical to the serial sweep "
             "(report written; see its 'divergences' field)",
             divergences=divergences,
+            output=str(output) if output is not None else None,
+        )
+    if floor and engine_speedup < floor:
+        raise SimulationError(
+            f"batched engine speedup {engine_speedup:.2f}x is below the "
+            f"floor {floor:.2f}x (report written; see its 'engine' field)",
+            engine_speedup=engine_speedup,
+            floor=floor,
             output=str(output) if output is not None else None,
         )
     return report

@@ -63,6 +63,7 @@ class Cache:
         single-pass; write misses allocate, too.
         """
         self.stats.accesses += 1
+        self.expire_inflight(cycle)
         line = self.line_of(address)
         index = line % self.num_sets
         tag = line // self.num_sets
@@ -90,7 +91,14 @@ class Cache:
         return (line // self.num_sets) in ways
 
     def expire_inflight(self, cycle: int) -> None:
-        """Drop completed fills from the in-flight map (housekeeping)."""
+        """Drop completed fills from the in-flight map (housekeeping).
+
+        Called from :meth:`access` on every lookup; the size guard keeps
+        the rebuild amortized O(1), and only fills whose ready cycle has
+        passed are dropped, so merge behaviour (and therefore every
+        statistic) is unchanged — an expired entry would never have
+        satisfied a merge anyway.
+        """
         if len(self._inflight) > 4096:
             self._inflight = {
                 line: ready for line, ready in self._inflight.items() if ready > cycle

@@ -304,8 +304,10 @@ class Processor:
         self.stats.cycles = self.cycle
         self.stats.icache_accesses = self.icache.stats.accesses
         self.stats.icache_misses = self.icache.stats.misses
+        self.stats.icache_merged_misses = self.icache.stats.merged_misses
         self.stats.dcache_accesses = self.dcache.stats.accesses
         self.stats.dcache_misses = self.dcache.stats.misses
+        self.stats.dcache_merged_misses = self.dcache.stats.merged_misses
         self.stats.branch_predictions = self.predictor.stats.predictions
         self.stats.branch_mispredictions = self.predictor.stats.mispredictions
         for cluster in self.clusters:
@@ -453,6 +455,7 @@ class Processor:
                         self._fetch_stall_until = max(
                             self._fetch_stall_until, event_cycle
                         )
+        return processed
 
     def _log(self, cycle: int, event: str, seq: int, role: str = "-", cluster: int = -1) -> None:
         self._recent.append((cycle, event, seq, role, cluster))
@@ -1123,9 +1126,15 @@ def simulate(
     config: ProcessorConfig,
     assignment: Optional[RegisterAssignment] = None,
 ) -> SimulationResult:
-    """Convenience wrapper: build a processor and run ``trace`` on it."""
+    """Convenience wrapper: build a processor and run ``trace`` on it.
+
+    Honours ``config.engine`` — the model class comes from
+    :func:`repro.uarch.engine.make_processor` (imported lazily; the
+    engine module subclasses :class:`Processor`).
+    """
     from repro.uarch.config import default_assignment_for
+    from repro.uarch.engine import make_processor
 
     if assignment is None:
         assignment = default_assignment_for(config)
-    return Processor(config, assignment).run(trace)
+    return make_processor(config, assignment).run(trace)

@@ -101,6 +101,11 @@ class ClusterRename:
                 [r for r in accessible if r.rclass is RegisterClass.FP],
             ),
         }
+        #: Direct per-class aliases of :attr:`files` — the batched engine
+        #: selects on an ``is RegisterClass.INT`` check instead of hashing
+        #: the enum for a dict lookup on every rename-table touch.
+        self.file_int = self.files[RegisterClass.INT]
+        self.file_fp = self.files[RegisterClass.FP]
 
     def file_for(self, reg: Register) -> RenameFile:
         return self.files[reg.rclass]

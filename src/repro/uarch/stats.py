@@ -75,11 +75,15 @@ class SimulationStats:
     branch_predictions: int = 0
     branch_mispredictions: int = 0
 
-    # Caches.
+    # Caches.  ``*_merged_misses`` count misses that merged with an
+    # outstanding fill to the same line (the inverted-MSHR behaviour of
+    # Section 4.1) — they are a subset of ``*_misses``.
     icache_accesses: int = 0
     icache_misses: int = 0
+    icache_merged_misses: int = 0
     dcache_accesses: int = 0
     dcache_misses: int = 0
+    dcache_merged_misses: int = 0
 
     # Multicluster overheads.
     operand_forwards: int = 0
@@ -158,8 +162,10 @@ class SimulationStats:
             "branch_mispredictions": self.branch_mispredictions,
             "icache_accesses": self.icache_accesses,
             "icache_misses": self.icache_misses,
+            "icache_merged_misses": self.icache_merged_misses,
             "dcache_accesses": self.dcache_accesses,
             "dcache_misses": self.dcache_misses,
+            "dcache_merged_misses": self.dcache_merged_misses,
             "operand_forwards": self.operand_forwards,
             "result_forwards": self.result_forwards,
             "replay_exceptions": self.replay_exceptions,
@@ -180,8 +186,10 @@ class SimulationStats:
             f"IPC                    {self.ipc:.3f}",
             f"dual-distributed       {self.dual_distributed} ({100 * self.dual_fraction:.1f}%)",
             f"branch accuracy        {100 * self.branch_accuracy:.2f}%",
-            f"icache miss rate       {100 * self.icache_miss_rate:.2f}%",
-            f"dcache miss rate       {100 * self.dcache_miss_rate:.2f}%",
+            f"icache miss rate       {100 * self.icache_miss_rate:.2f}% "
+            f"({self.icache_merged_misses} merged)",
+            f"dcache miss rate       {100 * self.dcache_miss_rate:.2f}% "
+            f"({self.dcache_merged_misses} merged)",
             f"operand forwards       {self.operand_forwards}",
             f"result forwards        {self.result_forwards}",
             f"replay exceptions      {self.replay_exceptions}",

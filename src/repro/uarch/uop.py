@@ -52,11 +52,11 @@ class Uop:
         "needs_result_entry",
         "writes_dest",
         "forwards_result_only",
-        "operand_entry_held",
-        "result_entry_held",
         "intercopy_pending",
         "store_dep",
         "blocked_on_buffer_since",
+        "lat0",
+        "fastflags",
     )
 
     def __init__(
@@ -93,8 +93,6 @@ class Uop:
         self.writes_dest = False
         #: Slave that only receives/writes the forwarded result.
         self.forwards_result_only = False
-        self.operand_entry_held = False
-        self.result_entry_held = False
         #: True until the inter-copy dependence is removed.
         self.intercopy_pending = False
         #: Older same-address store this load must wait for.
@@ -102,6 +100,12 @@ class Uop:
         #: Cycle at which this (ready) uop first failed to issue because a
         #: transfer buffer was full; -1 when not blocked.
         self.blocked_on_buffer_since = -1
+        #: Batched-engine dispatch recipe fields (repro.uarch.engine): the
+        #: static execution latency and a bitmask of opcode properties
+        #: plus the issue-category id.  The reference model leaves the
+        #: defaults (it re-derives both per issue).
+        self.lat0 = 0
+        self.fastflags = 0
 
     @property
     def seq(self) -> int:

@@ -8,12 +8,16 @@ from repro.perf.bench import QUICK_TRACE_LENGTH, SCHEMA_VERSION, run_bench
 class TestBench:
     def test_quick_bench_report(self, tmp_path):
         output = tmp_path / "BENCH_table2.json"
+        # min_engine_speedup=0 disables the perf gate: a unit test must
+        # not depend on wall-clock ratios on a loaded machine (CI's
+        # perf-smoke job enforces the committed floor separately).
         report = run_bench(
             benchmarks=["ora"],
             quick=True,
             jobs=2,
             output=output,
             cache_dir=tmp_path / "cache",
+            min_engine_speedup=0,
         )
         assert report.identical is True
         assert report.trace_length == QUICK_TRACE_LENGTH
@@ -28,6 +32,13 @@ class TestBench:
             "serial", "parallel", "cache-cold", "cache-warm",
         }
         assert all(t > 0 for t in payload["timings_s"].values())
+        # The engine comparison stage: simulation-only timings for both
+        # kernels plus the perf-regression floor the CI gate enforces.
+        engine = payload["engine"]
+        assert set(engine["timings_s"]) == {"reference", "batched"}
+        assert all(t > 0 for t in engine["timings_s"].values())
+        assert engine["speedup"] > 0
+        assert engine["floor"] == 0
         (row,) = payload["rows"]
         assert row["benchmark"] == "ora"
         assert set(row["cycles"]) == {"single", "dual_none", "dual_local"}
@@ -52,6 +63,7 @@ class TestBench:
             jobs=2,
             output=None,
             cache_dir=tmp_path,
+            min_engine_speedup=0,
         )
         assert report.identical is True
         assert report.format().startswith("bench: 1 benchmarks")

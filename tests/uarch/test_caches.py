@@ -83,6 +83,38 @@ class TestInvertedMshr:
         cache.expire_inflight(100)
         assert cache.access(0x40, 101) == 101  # still resident after expiry
 
+    def test_inflight_map_stays_bounded(self):
+        """Housekeeping regression: ``access`` must expire old fills.
+
+        ``expire_inflight`` used to never be called, so a long run's
+        inverted-MSHR map grew one entry per missed line forever.  Every
+        access now expires completed fills (amortized by the size
+        guard); a streaming scan over many distinct lines must leave the
+        map bounded by the guard threshold, not the line count.
+        """
+        cache = small_cache(sets=64, assoc=2)
+        distinct_lines = 10_000
+        for i in range(distinct_lines):
+            # Strictly increasing cycles, far enough apart that every
+            # fill from before the guard-triggering access has landed.
+            cache.access(i * 0x20, i * 32)
+        assert cache.stats.misses == distinct_lines
+        assert len(cache._inflight) <= 4097
+
+    def test_expiry_never_drops_live_fills(self):
+        cache = small_cache(sets=4, assoc=2, latency=1_000_000)
+        a, b, c = 0x000, 0x080, 0x100  # all set 0
+        cache.access(a, 0)
+        cache.access(b, 1)
+        cache.access(c, 1)  # evicts a; its (live) fill must survive expiry
+        cache._inflight[999_999] = 5  # a completed fill, ripe for expiry
+        for _ in range(5000):
+            cache._inflight[len(cache._inflight) + 10**6] = 10**9
+        cache.access(0x500, 10)  # trips the size guard
+        assert 999_999 not in cache._inflight
+        assert cache.access(a, 20) == 1_000_000  # still merges
+        assert cache.stats.merged_misses == 1
+
 
 class TestProbe:
     def test_probe_does_not_fill(self):

@@ -58,3 +58,46 @@ class TestSummary:
         assert "2.000" in text  # IPC
         assert "replay exceptions" in text
         assert "cluster 1" in text
+
+
+class TestMergedMissExport:
+    def test_finalize_exports_merged_misses(self):
+        """Regression: merged-miss counters must reach the stats surface.
+
+        ``Cache.stats.merged_misses`` was counted but never copied into
+        ``SimulationStats`` at finalize, so the inverted-MSHR behaviour
+        was invisible to every report, export, and fingerprint.
+        """
+        from repro.core.registers import RegisterAssignment
+        from repro.uarch.config import single_cluster_config
+        from repro.uarch.processor import Processor
+
+        from tests.robustness.test_checkpoint import make_trace
+
+        processor = Processor(
+            single_cluster_config(), RegisterAssignment.single_cluster()
+        )
+        processor.start(make_trace(20))
+        processor.advance()
+        processor.icache.stats.merged_misses = 7
+        processor.dcache.stats.merged_misses = 3
+        stats = processor.finalize().stats
+        assert stats.icache_merged_misses == 7
+        assert stats.dcache_merged_misses == 3
+        payload = stats.as_dict()
+        assert payload["icache_merged_misses"] == 7
+        assert payload["dcache_merged_misses"] == 3
+
+    def test_summary_mentions_merged_misses(self):
+        s = SimulationStats(
+            cycles=10,
+            instructions=10,
+            icache_accesses=4,
+            icache_misses=2,
+            icache_merged_misses=1,
+            dcache_accesses=4,
+            dcache_misses=2,
+            dcache_merged_misses=2,
+        )
+        assert "(1 merged)" in s.summary()
+        assert "(2 merged)" in s.summary()

@@ -4,8 +4,12 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 
     python -m repro table2 [--trace-length N] [--benchmarks a b ...] [--jobs N]
                            [--retries N] [--resume DIR] [--shard NAME]
-                           [--executor pool|supervised] [--task-timeout S]
-                           [--redispatch-budget N]
+                           [--executor pool|supervised|distributed]
+                           [--task-timeout S] [--redispatch-budget N]
+                           [--dist-port P] [--dist-min-hosts N] [--dist-wait S]
+    python -m repro worker serve --connect HOST:PORT [--host NAME]
+                           [--run-dir DIR] [--cache-dir DIR]
+                           [--fault-plan FILE] [--connect-retries N]
     python -m repro scenarios
     python -m repro figure6 [--sweep] [--jobs N] [--resume DIR]
     python -m repro cycle-time [--trace-length N] [--jobs N]
@@ -14,8 +18,8 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro bench [--quick] [--jobs N] [--output BENCH_table2.json]
     python -m repro replay BUNDLE.json
     python -m repro chaos [--quick] [--seed N] [--rounds N] [--run-dir DIR]
-                          [--worker-faults]
-    python -m repro journal merge SHARD [SHARD ...] --output DIR
+                          [--worker-faults] [--host-faults [--hosts N]]
+    python -m repro journal merge SHARD [SHARD ...] --output DIR [--dry-run]
     python -m repro trace BENCHMARK [--machine single|dual|dual-local]
                           [--window A B] [--jsonl FILE]
     python -m repro stats BENCHMARK [--machine ...] [--json FILE] [--prom FILE]
@@ -106,6 +110,10 @@ def _evaluation_options(args: argparse.Namespace):
         task_timeout=getattr(args, "task_timeout", None),
         redispatch_budget=getattr(args, "redispatch_budget", 2),
         engine=getattr(args, "engine", None),
+        dist_host=getattr(args, "dist_bind", "127.0.0.1"),
+        dist_port=getattr(args, "dist_port", 0),
+        dist_min_hosts=getattr(args, "dist_min_hosts", 1),
+        dist_wait_s=getattr(args, "dist_wait", 10.0),
     )
 
 
@@ -329,11 +337,43 @@ def _add_perf_flags(
     )
     parser.add_argument(
         "--executor",
-        choices=["pool", "supervised"],
+        choices=["pool", "supervised", "distributed"],
         default="pool",
         help="sweep fan-out engine: 'pool' trusts its workers; "
         "'supervised' adds per-task deadlines, dead/wedged-worker "
-        "detection, and bounded re-dispatch (still bit-identical)",
+        "detection, and bounded re-dispatch; 'distributed' coordinates "
+        "'repro worker serve' daemons over TCP with host-loss tolerance "
+        "(all bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--dist-bind",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="distributed executor: interface to listen on for workers "
+        "(use 0.0.0.0 to accept workers from other machines)",
+    )
+    parser.add_argument(
+        "--dist-port",
+        type=int,
+        default=0,
+        metavar="P",
+        help="distributed executor: TCP port to listen on for workers "
+        "(0 = OS-assigned; the chosen port is logged at startup)",
+    )
+    parser.add_argument(
+        "--dist-min-hosts",
+        type=int,
+        default=1,
+        metavar="N",
+        help="distributed executor: hosts to wait for before dispatching",
+    )
+    parser.add_argument(
+        "--dist-wait",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="distributed executor: seconds to wait for --dist-min-hosts "
+        "before degrading to local execution",
     )
     parser.add_argument(
         "--task-timeout",
@@ -578,7 +618,72 @@ def build_parser() -> argparse.ArgumentParser:
         "worker_stall, worker_partition) against the supervised "
         "executor, asserting bit-identity to a serial reference",
     )
+    ch.add_argument(
+        "--host-faults",
+        action="store_true",
+        help="inject host-level faults instead (host_kill, host_stall, "
+        "host_partition) against the distributed executor: each round "
+        "launches real localhost worker subprocesses, sabotages them, "
+        "and asserts bit-identity plus clean shard merges",
+    )
+    ch.add_argument(
+        "--hosts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker subprocesses per --host-faults round (>= 2)",
+    )
     ch.set_defaults(func=_cmd_chaos)
+
+    wk = sub.add_parser(
+        "worker", help="distributed sweep worker daemon (one per host)"
+    )
+    wk_sub = wk.add_subparsers(dest="worker_command", required=True)
+    ws = wk_sub.add_parser(
+        "serve",
+        help="connect to a coordinator and execute leased sweep tasks "
+        "until it says shutdown (or vanishes)",
+    )
+    ws.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the coordinator's listen address (the sweep side prints it; "
+        "see --executor distributed / --dist-port)",
+    )
+    ws.add_argument(
+        "--host",
+        default=None,
+        metavar="NAME",
+        help="host identity for leases, metrics labels, and the journal "
+        "shard name (default: hostname-pid)",
+    )
+    ws.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="journal completed rows into journal-<host>.jsonl here "
+        "(durable on this host before each result is sent); fold shards "
+        "with 'repro journal merge'",
+    )
+    ws.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="artifact cache directory for this worker")
+    ws.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="JSON FaultPlan of host faults to self-inject at task "
+        "pickup (chaos/CI only)",
+    )
+    ws.add_argument(
+        "--connect-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts to reach the coordinator before giving up "
+        "(0.25s apart; default 40)",
+    )
+    ws.set_defaults(func=_cmd_worker_serve)
 
     jn = sub.add_parser(
         "journal", help="operate on run-directory journals (sharded sweeps)"
@@ -601,6 +706,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="output run directory (must not already hold a journal); "
         "point --resume here afterwards",
+    )
+    jm.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what the merge would do (rows, conflicts, missing "
+        "artifacts) without writing anything",
     )
     jm.set_defaults(func=_cmd_journal_merge)
 
@@ -682,7 +793,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     st.set_defaults(func=_cmd_stats)
 
-    for command_parser in set(sub.choices.values()):
+    # -v/--quiet on every (nested) subcommand so the flags work on
+    # either side of the command words.
+    for command_parser in set(sub.choices.values()) | {jm, ws}:
         _add_logging_flags(command_parser, suppress=True)
     return parser
 
@@ -724,6 +837,8 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
             trace_length=800,
             jobs=args.jobs,
             worker_faults=args.worker_faults,
+            host_faults=args.host_faults,
+            hosts=args.hosts,
         )
     else:
         config = ChaosConfig(
@@ -733,6 +848,8 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
             trace_length=args.trace_length,
             jobs=args.jobs,
             worker_faults=args.worker_faults,
+            host_faults=args.host_faults,
+            hosts=args.hosts,
         )
     report = run_chaos(config, run_dir=args.run_dir)
     print(report.format())
@@ -744,7 +861,24 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
 def _cmd_journal_merge(args: argparse.Namespace) -> None:
     from repro.robustness.journal import merge_journals
 
-    report = merge_journals(args.shards, args.output)
+    report = merge_journals(args.shards, args.output, dry_run=args.dry_run)
+    print(report.format())
+    if args.dry_run:
+        print("dry run: nothing written")
+
+
+def _cmd_worker_serve(args: argparse.Namespace) -> None:
+    from repro.dist.worker import DEFAULT_CONNECT_RETRIES, serve_worker
+
+    retries = args.connect_retries
+    report = serve_worker(
+        args.connect,
+        host=args.host,
+        run_dir=args.run_dir,
+        cache_dir=args.cache_dir,
+        fault_plan_file=args.fault_plan,
+        connect_retries=DEFAULT_CONNECT_RETRIES if retries is None else retries,
+    )
     print(report.format())
 
 

@@ -1,0 +1,27 @@
+"""Multi-host distributed sweeps: coordinator, worker daemon, protocol.
+
+The sweep-level answer to the multicluster paper's partitioning bet:
+split the work across hosts, pay a bounded communication cost, and keep
+the global result *exact*.  ``repro --executor distributed …`` runs the
+coordinator (:class:`~repro.dist.coordinator.DistributedExecutor`);
+``repro worker serve --connect HOST:PORT`` runs one host's worker
+daemon (:class:`~repro.dist.worker.WorkerDaemon`); both speak the
+length-prefixed TCP framing of :mod:`repro.dist.protocol`.  Host loss —
+kill, stall, or partition — costs re-dispatched tasks, never rows:
+results are deduplicated by content-fingerprint keys, worker shards
+fold through ``repro journal merge``, and a coordinator with no usable
+hosts degrades to the single-host executors rather than failing.
+"""
+
+from repro.dist.coordinator import DistributedExecutor
+from repro.dist.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.dist.worker import WorkerDaemon, WorkerReport, serve_worker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DistributedExecutor",
+    "ProtocolError",
+    "WorkerDaemon",
+    "WorkerReport",
+    "serve_worker",
+]

@@ -196,6 +196,16 @@ class EvaluationOptions:
     #: consulted by supervised *workers* at task pickup.  Stripped from
     #: the options shipped into workers' tasks so it cannot recurse.
     worker_fault_plan: Optional["FaultPlan"] = None
+    #: Distributed-executor knobs (``--executor distributed``): the
+    #: coordinator's bind address/port (``dist_port=0`` picks a free
+    #: port), how many worker hosts must register before dispatch, and
+    #: how long to wait for them before degrading to local execution.
+    #: Executor knobs like the rest: excluded from
+    #: ``options_fingerprint``, never value-determining.
+    dist_host: str = "127.0.0.1"
+    dist_port: int = 0
+    dist_min_hosts: int = 1
+    dist_wait_s: float = 10.0
 
     def apply_robustness(self, config: ProcessorConfig) -> ProcessorConfig:
         """Thread the self-check / cycle-budget / engine knobs into a config."""

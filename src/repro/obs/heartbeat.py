@@ -148,6 +148,16 @@ class TaskLiveness:
         now = self.clock()
         self._inflight[key] = (now, now + timeout_s)
 
+    def renew(self, key, timeout_s: float) -> None:
+        """Extend ``key``'s deadline to ``timeout_s`` from now, keeping
+        its original start time (age survives renewals).  Renewing a key
+        that is not in flight starts tracking it — the distributed
+        coordinator leans on this for heartbeat-renewed host leases."""
+        now = self.clock()
+        entry = self._inflight.get(key)
+        started = entry[0] if entry is not None else now
+        self._inflight[key] = (started, now + timeout_s)
+
     def finish(self, key) -> Optional[float]:
         """Stop tracking ``key``; returns its elapsed seconds (``None``
         if it was not in flight — finishing twice is not an error)."""

@@ -78,24 +78,52 @@ from repro.robustness.retry import RetryPolicy
 log = logging.getLogger("repro.executor")
 
 #: Executor implementations selectable via ``EvaluationOptions.executor``.
-EXECUTOR_KINDS = ("pool", "supervised")
+EXECUTOR_KINDS = ("pool", "supervised", "distributed")
 
 #: Floor for derived per-task deadlines (seconds).
 MIN_TASK_TIMEOUT = 30.0
+
+#: Baseline deadline budget per dynamic instruction (seconds), sized for
+#: the reference engine without self-checking.
+BASE_SECONDS_PER_INSTRUCTION = 0.0025
+
+#: Per-cycle invariant checking multiplies simulation cost severalfold;
+#: the deadline must scale with it or ``--self-check`` sweeps on long
+#: traces expire healthy workers.
+SELF_CHECK_TIMEOUT_FACTOR = 4.0
+
+#: The batched engine is measured 2.7-3.2x faster than reference; halve
+#: the per-instruction budget (still comfortably above worst observed).
+BATCHED_ENGINE_TIMEOUT_FACTOR = 0.5
 
 #: The forked worker's process-local artifact cache.
 _WORKER_CACHE: Optional[ArtifactCache] = None
 
 
-def default_task_timeout(trace_length: int) -> float:
-    """A per-task deadline sized from the trace length.
+def default_task_timeout(
+    trace_length: int,
+    *,
+    self_check: bool = False,
+    engine: Optional[str] = None,
+) -> float:
+    """A per-task deadline sized from the trace length and options.
 
     One task is one compile + trace + simulate of ``trace_length``
     dynamic instructions; the budget is a generous multiple of the
     worst observed per-instruction cost so only a genuinely wedged or
-    partitioned worker ever hits it.
+    partitioned worker ever hits it.  The per-instruction rate scales
+    with what actually drives simulation cost: ``self_check`` (per-cycle
+    invariant checking) multiplies the budget by
+    :data:`SELF_CHECK_TIMEOUT_FACTOR`; the batched engine shrinks it by
+    :data:`BATCHED_ENGINE_TIMEOUT_FACTOR` (``engine=None`` is treated as
+    the reference engine).
     """
-    return max(MIN_TASK_TIMEOUT, 10.0 + trace_length * 0.0025)
+    per_instruction = BASE_SECONDS_PER_INSTRUCTION
+    if engine == "batched":
+        per_instruction *= BATCHED_ENGINE_TIMEOUT_FACTOR
+    if self_check:
+        per_instruction *= SELF_CHECK_TIMEOUT_FACTOR
+    return max(MIN_TASK_TIMEOUT, 10.0 + trace_length * per_instruction)
 
 
 def _init_worker(cache_dir) -> None:
@@ -219,6 +247,17 @@ class SweepExecutor:
     #: Set when the executor abandoned its workers mid-sweep (see
     #: :class:`ExecutorDegradation`); ``None`` on the happy path.
     degradation: Optional[ExecutorDegradation] = None
+
+    @property
+    def degradations(self) -> list[ExecutorDegradation]:
+        """Every degradation event this executor recorded, in order.
+
+        Single-host executors degrade at most once; the distributed
+        coordinator's cascade can step down more than once (remote ->
+        supervised -> serial), so sweep drivers journal this list rather
+        than the single :attr:`degradation`.
+        """
+        return [self.degradation] if self.degradation is not None else []
 
     def submit(self, task: SweepTask) -> None:
         raise NotImplementedError
@@ -690,34 +729,63 @@ def make_sweep_executor(
     redispatch_budget: int = 2,
     worker_fault_plan=None,
     seed: int = 0,
+    self_check: bool = False,
+    engine: Optional[str] = None,
+    dist_bind: str = "127.0.0.1",
+    dist_port: int = 0,
+    dist_min_hosts: int = 1,
+    dist_wait_s: float = 10.0,
 ) -> SweepExecutor:
     """Build the executor requested by ``EvaluationOptions.executor``.
 
-    ``task_timeout=None`` derives a deadline from ``trace_length`` via
+    ``task_timeout=None`` derives a deadline from ``trace_length`` (and
+    the cost-scaling ``self_check``/``engine`` knobs) via
     :func:`default_task_timeout`; the re-dispatch backoff reuses the
     deterministic seeded :class:`~repro.robustness.retry.RetryPolicy`.
+    ``kind="distributed"`` builds the multi-host coordinator of
+    :mod:`repro.dist.coordinator` listening on
+    ``dist_bind:dist_port``; the ``dist_*`` knobs are ignored by the
+    single-host executors.
     """
+    timeout = (
+        task_timeout
+        if task_timeout is not None
+        else default_task_timeout(
+            trace_length, self_check=self_check, engine=engine
+        )
+    )
+    policy = RetryPolicy(
+        max_attempts=max(1, redispatch_budget + 1),
+        base_delay=0.05,
+        max_delay=1.0,
+        seed=seed,
+    )
     if kind == "pool":
         return PoolSweepExecutor(task_fn, jobs, cache_dir)
     if kind == "supervised":
-        timeout = (
-            task_timeout
-            if task_timeout is not None
-            else default_task_timeout(trace_length)
-        )
         return SupervisedPoolExecutor(
             task_fn,
             jobs,
             cache_dir,
             task_timeout=timeout,
             redispatch_budget=redispatch_budget,
-            redispatch_policy=RetryPolicy(
-                max_attempts=max(1, redispatch_budget + 1),
-                base_delay=0.05,
-                max_delay=1.0,
-                seed=seed,
-            ),
+            redispatch_policy=policy,
             worker_fault_plan=worker_fault_plan,
+        )
+    if kind == "distributed":
+        from repro.dist.coordinator import DistributedExecutor
+
+        return DistributedExecutor(
+            task_fn,
+            jobs,
+            cache_dir,
+            bind=dist_bind,
+            port=dist_port,
+            task_timeout=timeout,
+            redispatch_budget=redispatch_budget,
+            redispatch_policy=policy,
+            min_hosts=dist_min_hosts,
+            wait_for_hosts_s=dist_wait_s,
         )
     raise ConfigError(
         f"unknown sweep executor {kind!r}; valid: {EXECUTOR_KINDS}",
@@ -726,8 +794,11 @@ def make_sweep_executor(
 
 
 __all__ = [
+    "BASE_SECONDS_PER_INSTRUCTION",
+    "BATCHED_ENGINE_TIMEOUT_FACTOR",
     "EXECUTOR_KINDS",
     "MIN_TASK_TIMEOUT",
+    "SELF_CHECK_TIMEOUT_FACTOR",
     "ExecutorDegradation",
     "PoolSweepExecutor",
     "SupervisedPoolExecutor",

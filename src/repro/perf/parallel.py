@@ -271,6 +271,12 @@ def run_table2_parallel(
         redispatch_budget=options.redispatch_budget,
         worker_fault_plan=options.worker_fault_plan,
         seed=options.trace_seed,
+        self_check=options.self_check,
+        engine=options.engine,
+        dist_bind=options.dist_host,
+        dist_port=options.dist_port,
+        dist_min_hosts=options.dist_min_hosts,
+        dist_wait_s=options.dist_wait_s,
     )
     with executor, sweep_signals():
         try:
@@ -287,9 +293,11 @@ def run_table2_parallel(
                         _finish_benchmark(name)
         except (KeyboardInterrupt, BrokenProcessPool) as error:
             raise _executor_interrupted(executor, type(error).__name__) from None
-    degradation = executor.degradation
-    if degradation is not None and on_event is not None:
-        on_event("executor_degradation", degradation.as_dict())
+    if on_event is not None:
+        # The distributed coordinator's cascade can degrade more than
+        # once (remote -> supervised -> serial); journal every step.
+        for degradation in executor.degradations:
+            on_event("executor_degradation", degradation.as_dict())
 
     failures = [failures_by_name[n] for n in names if n in failures_by_name]
     return evaluations, failures

@@ -40,6 +40,7 @@ from typing import Optional, Union
 from repro.errors import ConfigError
 from repro.robustness.atomicio import atomic_write_json
 from repro.robustness.faultinject import (
+    HOST_FAULT_KINDS,
     RUNTIME_FAULT_KINDS,
     TRACE_FAULT_KINDS,
     WORKER_FAULT_KINDS,
@@ -81,8 +82,25 @@ class ChaosConfig:
     #: identity* to a serial reference — a lost worker must not change a
     #: single stat — plus the usual journal-consistency contract.
     worker_faults: bool = False
+    #: Inject host-level faults (host_kill / host_stall / host_partition)
+    #: against the distributed executor: each round launches real worker
+    #: *subprocesses* on localhost, sabotages them at task pickup, and
+    #: asserts the same bit-identity and journal contracts as worker
+    #: rounds — plus that the per-host journal shards merge cleanly.
+    host_faults: bool = False
+    #: Worker subprocesses per host-fault round.
+    hosts: int = 2
 
     def __post_init__(self) -> None:
+        if self.worker_faults and self.host_faults:
+            raise ConfigError(
+                "chaos runs one fault family per soak: choose worker_faults "
+                "or host_faults, not both"
+            )
+        if self.host_faults and self.hosts < 2:
+            raise ConfigError(
+                f"host-fault chaos needs >= 2 worker hosts, got {self.hosts}"
+            )
         if self.rounds < 1:
             raise ConfigError(f"chaos rounds must be >= 1, got {self.rounds}")
         if self.max_faults < 1:
@@ -167,6 +185,39 @@ def random_worker_fault_plan(
     return FaultPlan(specs=tuple(specs))
 
 
+def random_host_fault_plan(
+    rng: random.Random,
+    benchmarks: tuple[str, ...],
+    max_faults: int,
+) -> FaultPlan:
+    """Draw a seeded host-level fault schedule for one distributed round.
+
+    The host mirror of :func:`random_worker_fault_plan`: a killed host
+    process (the TCP connection drops), a wedged host (the coordinator's
+    task deadline expires its lease), and a partitioned host (drops the
+    socket mid-task — the work may be done and journaled, but the result
+    never crosses the network, so dedup must catch any late copy).
+    Mostly transient (``clear_after=1``: the re-dispatch lands on a
+    surviving host), occasionally persistent (``None``: the task takes
+    down host after host until the coordinator's cascade falls back to
+    local execution) — every path must end bit-identical to serial.
+    Faults key on ``(benchmark, part, dispatch)``, never on a host name,
+    so the schedule is deterministic regardless of which host happens to
+    lease a task first.
+    """
+    specs = []
+    for _ in range(rng.randint(1, max_faults)):
+        specs.append(
+            FaultSpec(
+                kind=rng.choice(HOST_FAULT_KINDS),
+                benchmark=rng.choice(benchmarks),
+                part=rng.choice((None,) + _PARTS),
+                clear_after=rng.choice((1, 1, 2, None)),
+            )
+        )
+    return FaultPlan(specs=tuple(specs))
+
+
 @dataclass
 class RoundReport:
     """What one chaos round did and whether the contract held."""
@@ -185,7 +236,8 @@ class RoundReport:
     #: bundles that did not reproduce, unloadable journal rows.
     violations: list[str] = field(default_factory=list)
     #: Which harness produced the round: ``"fault-injection"``
-    #: (simulation-level faults) or ``"worker-faults"`` (executor-level).
+    #: (simulation-level faults), ``"worker-faults"`` (executor-level),
+    #: or ``"host-faults"`` (distributed, host-level).
     mode: str = "fault-injection"
 
     @property
@@ -200,6 +252,15 @@ class HealthReport:
     seed: int
     rounds: list[RoundReport]
     elapsed_s: float
+    #: Which harness produced the soak: ``"fault-injection"``,
+    #: ``"worker-faults"``, or ``"host-faults"``.
+    mode: str = "fault-injection"
+    #: The full :class:`ChaosConfig` as primitives.  Together with
+    #: ``seed`` (and each round's recorded fault plan) this makes a
+    #: failing round reproducible from the report alone: rebuild
+    #: ``ChaosConfig(**config)`` and rerun — the same seeded PRNG draws
+    #: the same executor/host fault schedules.
+    config: dict = field(default_factory=dict)
     schema: int = HEALTH_SCHEMA
 
     @property
@@ -214,6 +275,8 @@ class HealthReport:
         return {
             "schema": self.schema,
             "seed": self.seed,
+            "mode": self.mode,
+            "config": self.config,
             "healthy": self.healthy,
             "elapsed_s": round(self.elapsed_s, 3),
             "rounds": [asdict(r) for r in self.rounds],
@@ -334,6 +397,20 @@ def _run_round(
     )
 
 
+def _stats_fingerprints(result) -> dict[str, dict[str, str]]:
+    """Per-benchmark, per-part ``stats_fingerprint`` map of a Table 2 run
+    (the bit-identity currency of the executor chaos contracts)."""
+    from repro.perf.fingerprint import fingerprint
+
+    return {
+        row.benchmark: {
+            part: fingerprint(getattr(row.evaluation, part).stats.as_dict())
+            for part in _PARTS
+        }
+        for row in result.rows
+    }
+
+
 def _run_worker_round(
     config: ChaosConfig, round_index: int, run_dir: Path
 ) -> RoundReport:
@@ -347,7 +424,6 @@ def _run_worker_round(
     """
     from repro.experiments.harness import EvaluationOptions
     from repro.experiments.table2 import run_table2
-    from repro.perf.fingerprint import fingerprint
     from repro.robustness.journal import RunJournal
 
     rng = _round_rng(config.seed, round_index, salt="chaos-worker")
@@ -359,15 +435,6 @@ def _run_worker_round(
     round_dir = run_dir / f"round-{round_index:02d}"
     start = time.perf_counter()
     violations: list[str] = []
-
-    def _fingerprints(result) -> dict[str, dict[str, str]]:
-        return {
-            row.benchmark: {
-                part: fingerprint(getattr(row.evaluation, part).stats.as_dict())
-                for part in _PARTS
-            }
-            for row in result.rows
-        }
 
     reference = run_table2(list(config.benchmarks), options)
     if reference.failures:  # pragma: no cover - benchmarks are healthy
@@ -419,8 +486,8 @@ def _run_worker_round(
 
     # Contract 2: bit identity — every stat of every part matches the
     # serial reference exactly.
-    want = _fingerprints(reference)
-    got = _fingerprints(result)
+    want = _stats_fingerprints(reference)
+    got = _stats_fingerprints(result)
     for name in sorted(want):
         if name not in got:
             continue  # already reported above
@@ -459,6 +526,195 @@ def _run_worker_round(
     )
 
 
+def _free_port() -> int:
+    """A currently-free localhost TCP port for the round's coordinator."""
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _run_host_round(
+    config: ChaosConfig, round_index: int, run_dir: Path
+) -> RoundReport:
+    """One host-level chaos round: distributed sweep vs serial truth.
+
+    The full multi-host deployment, on localhost: real worker daemon
+    *subprocesses* (``repro worker serve``) each loaded with the round's
+    seeded host-fault plan, a real TCP coordinator, per-host journal
+    shards.  Contracts are the worker round's — nothing leaks into row
+    outcomes, every stat is bit-identical to the serial reference, the
+    coordinator's shard journal reloads clean — plus one more: the
+    round's shards (coordinator + surviving hosts) must fold through
+    ``merge_journals`` into a resume-equivalent journal whose completed
+    row set covers every benchmark.
+    """
+    import json
+    import subprocess
+    import sys
+
+    from repro.experiments.harness import EvaluationOptions
+    from repro.experiments.table2 import run_table2
+    from repro.robustness.journal import RunJournal, merge_journals
+
+    rng = _round_rng(config.seed, round_index, salt="chaos-host")
+    plan = random_host_fault_plan(rng, config.benchmarks, config.max_faults)
+    round_dir = run_dir / f"round-{round_index:02d}"
+    round_dir.mkdir(parents=True, exist_ok=True)
+    start = time.perf_counter()
+    violations: list[str] = []
+
+    base = dict(
+        trace_length=config.trace_length,
+        cycle_budget=config.trace_length * 30 + 10_000,
+    )
+    reference = run_table2(list(config.benchmarks), EvaluationOptions(**base))
+    if reference.failures:  # pragma: no cover - benchmarks are healthy
+        violations.append("serial reference run failed; cannot judge round")
+        return RoundReport(
+            round_index=round_index,
+            fault_plan=plan.as_dict(),
+            completed_rows=0,
+            failed_rows=len(reference.failures),
+            retried_to_success=0,
+            bundles_verified=0,
+            elapsed_s=round(time.perf_counter() - start, 3),
+            violations=violations,
+            mode="host-faults",
+        )
+
+    plan_file = round_dir / "host-fault-plan.json"
+    plan_file.write_text(
+        json.dumps(plan.as_dict(), indent=2, sort_keys=True), encoding="utf-8"
+    )
+    port = _free_port()
+    workers = [
+        subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker", "serve",
+                "--connect", f"127.0.0.1:{port}",
+                "--host", f"chaos-h{host_index}",
+                "--run-dir", str(round_dir),
+                "--fault-plan", str(plan_file),
+                "--connect-retries", "120",
+                "--quiet",
+            ]
+        )
+        for host_index in range(config.hosts)
+    ]
+    dist_options = EvaluationOptions(
+        **base,
+        jobs=2,
+        executor="distributed",
+        # Generous for a healthy task, short enough that a stalled host
+        # costs seconds, not a CI-visible hang.
+        task_timeout=max(5.0, config.trace_length / 100.0),
+        redispatch_budget=2,
+        dist_port=port,
+        dist_min_hosts=config.hosts,
+        dist_wait_s=30.0,
+    )
+    shard = f"chaos-{round_index:02d}"
+    journal = RunJournal(round_dir, shard=shard)
+    try:
+        result = run_table2(
+            list(config.benchmarks), dist_options, journal=journal
+        )
+    finally:
+        journal.close()
+        # Reap the hosts: killed ones are gone, partitioned ones exited,
+        # stalled ones are wedged in their sleep loop forever by design.
+        for proc in workers:
+            if proc.poll() is None:
+                proc.kill()
+        for proc in workers:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+
+    # Contract 1: host faults never leak into row outcomes.
+    for failure in result.failures:
+        violations.append(
+            f"{failure.benchmark}: host fault leaked into a row failure "
+            f"({failure.error_type}: {failure.message})"
+        )
+    completed = {row.benchmark for row in result.rows}
+    for name in config.benchmarks:
+        if name not in completed and not any(
+            f.benchmark == name for f in result.failures
+        ):
+            violations.append(f"{name}: row lost by the distributed sweep")
+
+    # Contract 2: bit identity against the serial reference.
+    want = _stats_fingerprints(reference)
+    got = _stats_fingerprints(result)
+    for name in sorted(want):
+        if name not in got:
+            continue  # already reported above
+        for part in _PARTS:
+            if want[name][part] != got[name][part]:
+                violations.append(
+                    f"{name}/{part}: stats fingerprint diverged from the "
+                    f"serial reference under host faults"
+                )
+
+    # Contract 3: the coordinator's shard journal reloads clean (only
+    # the sweep parent writes it; SIGKILL'd hosts can tear their *own*
+    # shards, which the merge below tolerates by design).
+    reopened = RunJournal(round_dir, shard=shard)
+    try:
+        if reopened.skipped_lines:
+            violations.append(
+                f"coordinator shard has {reopened.skipped_lines} torn line(s)"
+            )
+        for entry in reopened.entries():
+            if entry.status == "completed" and reopened.load_artifact(entry) is None:
+                violations.append(f"{entry.key}: journaled row unloadable")
+    finally:
+        reopened.close()
+
+    # Contract 4: coordinator + host shards merge into one
+    # resume-equivalent journal with a completed table2 row per
+    # benchmark — losing any host mid-run must not cost merged rows.
+    merged_dir = round_dir / "merged"
+    try:
+        merge_journals([round_dir], merged_dir)
+    except Exception as error:  # noqa: BLE001 - any damage is a violation
+        violations.append(
+            f"shard merge failed ({type(error).__name__}: {error})"
+        )
+    else:
+        merged = RunJournal(merged_dir)
+        try:
+            for name in config.benchmarks:
+                entry = merged.entry(f"table2:{name}")
+                if entry is None or not entry.completed:
+                    violations.append(
+                        f"{name}: merged journal is missing the completed row"
+                    )
+                elif merged.load_artifact(entry) is None:
+                    violations.append(
+                        f"{name}: merged journal row unloadable"
+                    )
+        finally:
+            merged.close()
+
+    return RoundReport(
+        round_index=round_index,
+        fault_plan=plan.as_dict(),
+        completed_rows=len(result.rows),
+        failed_rows=len(result.failures),
+        retried_to_success=0,
+        bundles_verified=0,
+        elapsed_s=round(time.perf_counter() - start, 3),
+        violations=violations,
+        mode="host-faults",
+    )
+
+
 def run_chaos(
     config: Optional[ChaosConfig] = None,
     run_dir: Union[str, Path, None] = None,
@@ -472,7 +728,12 @@ def run_chaos(
     then.
     """
     config = config or ChaosConfig()
-    round_fn = _run_worker_round if config.worker_faults else _run_round
+    if config.host_faults:
+        round_fn, mode = _run_host_round, "host-faults"
+    elif config.worker_faults:
+        round_fn, mode = _run_worker_round, "worker-faults"
+    else:
+        round_fn, mode = _run_round, "fault-injection"
     start = time.perf_counter()
     if run_dir is None:
         with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
@@ -483,13 +744,19 @@ def run_chaos(
                 seed=config.seed,
                 rounds=rounds,
                 elapsed_s=time.perf_counter() - start,
+                mode=mode,
+                config=asdict(config),
             )
         return report
     run_dir = Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)
     rounds = [round_fn(config, i, run_dir) for i in range(config.rounds)]
     report = HealthReport(
-        seed=config.seed, rounds=rounds, elapsed_s=time.perf_counter() - start
+        seed=config.seed,
+        rounds=rounds,
+        elapsed_s=time.perf_counter() - start,
+        mode=mode,
+        config=asdict(config),
     )
     report.save(run_dir / "health.json")
     return report
@@ -501,6 +768,7 @@ __all__ = [
     "HealthReport",
     "RoundReport",
     "random_fault_plan",
+    "random_host_fault_plan",
     "random_worker_fault_plan",
     "run_chaos",
 ]

@@ -457,6 +457,8 @@ def _shard_journal_files(shard: Union[str, os.PathLike]) -> list[Path]:
 def merge_journals(
     shards: Sequence[Union[str, os.PathLike]],
     output_dir: Union[str, os.PathLike],
+    *,
+    dry_run: bool = False,
 ) -> MergeReport:
     """Merge shard journals into one resume-equivalent run directory.
 
@@ -482,11 +484,17 @@ def merge_journals(
 
     The output directory must not already contain a primary journal —
     merging over a live run would silently shadow its rows.
+
+    ``dry_run=True`` performs the whole fold — the same winners, the
+    same conflict/duplicate/torn accounting, including checking which
+    referenced artifacts exist — but writes nothing: no output
+    directory, no merged journal, no copied artifacts.  The returned
+    :class:`MergeReport` is what the real merge *would* report.
     """
     if not shards:
         raise ConfigError("journal merge needs at least one shard")
     output_dir = Path(output_dir)
-    if (output_dir / "journal.jsonl").exists():
+    if not dry_run and (output_dir / "journal.jsonl").exists():
         raise ConfigError(
             f"output directory {str(output_dir)!r} already contains "
             "journal.jsonl; refusing to merge over an existing journal",
@@ -514,6 +522,20 @@ def merge_journals(
                         events.append(value)
                     else:
                         _merge_row(winners, order, value, src_dir, report)
+
+    if dry_run:
+        for key in order:
+            entry, src_dir = winners[key]
+            for ref in (entry.artifact, entry.bundle):
+                if ref is None:
+                    continue
+                if (src_dir / ref).exists():
+                    report.artifacts_copied += 1
+                else:
+                    report.artifacts_missing += 1
+            report.rows_merged += 1
+        report.events_kept = len(events)
+        return report
 
     with RunJournal(output_dir) as merged:
         for key in order:

@@ -1,0 +1,104 @@
+"""The length-prefixed wire protocol: framing, limits, addresses."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.dist.protocol import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from repro.dist.worker import resolve_task_fn
+from repro.errors import ConfigError
+
+
+class TestFrameDecoder:
+    def test_roundtrip_single_frame(self):
+        decoder = FrameDecoder()
+        frames = decoder.feed(encode_frame("task", {"ticket": 7, "payload": "x"}))
+        assert frames == [("task", {"ticket": 7, "payload": "x"})]
+
+    def test_byte_at_a_time_reassembly(self):
+        data = encode_frame("result", {"value": [1, 2, 3]})
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(data)):
+            frames.extend(decoder.feed(data[i:i + 1]))
+        assert frames == [("result", {"value": [1, 2, 3]})]
+
+    def test_several_frames_in_one_feed(self):
+        blob = encode_frame("ping", {}) + encode_frame("heartbeat", {"host": "h0"})
+        frames = FrameDecoder().feed(blob)
+        assert [kind for kind, _ in frames] == ["ping", "heartbeat"]
+
+    def test_oversized_frame_rejected(self):
+        header = struct.pack("!I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="frame"):
+            FrameDecoder().feed(header)
+
+    def test_garbage_payload_rejected(self):
+        blob = struct.pack("!I", 4) + b"\x00\x01\x02\x03"
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(blob)
+
+
+class TestSocketTransport:
+    def test_send_recv_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_message(a, "task", ticket=1, benchmark="compress")
+            kind, data = recv_message(b)
+            assert kind == "task"
+            assert data == {"ticket": 1, "benchmark": "compress"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_orderly_eof_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_message(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_is_protocol_error(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(encode_frame("ping", {})[:3])  # torn header
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_message(b)
+        finally:
+            b.close()
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("127.0.0.1:9000") == ("127.0.0.1", 9000)
+
+    @pytest.mark.parametrize("bad", ["localhost", "host:", ":123", "h:0", "h:-1", "h:notaport"])
+    def test_bad_addresses_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_address(bad)
+
+
+class TestResolveTaskFn:
+    def test_resolves_module_level_callable(self):
+        fn = resolve_task_fn("repro.dist.worker:echo_task")
+        assert fn(("a", 1)) == ("a", 1)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["no-colon", "missing.module:fn", "repro.dist.worker:nope",
+         "repro.dist.worker:DEFAULT_CONNECT_RETRIES"],
+    )
+    def test_bad_specs_are_typed_errors(self, spec):
+        with pytest.raises(ProtocolError):
+            resolve_task_fn(spec)

@@ -132,6 +132,28 @@ class TestTaskLiveness:
         clock.now += 3
         assert liveness.oldest_age() == 5.0
 
+    def test_renew_extends_deadline_keeping_start(self):
+        # The lease path: renewals push the deadline out but the entry's
+        # age keeps counting from the original start.
+        clock = FakeClock()
+        liveness = TaskLiveness(clock=clock)
+        liveness.start("lease", timeout_s=5.0)
+        clock.now += 4
+        liveness.renew("lease", timeout_s=5.0)
+        clock.now += 4
+        assert liveness.overdue() == []  # deadline moved to t=9
+        assert liveness.oldest_age() == 8.0  # age still from t=0
+        clock.now += 2
+        assert liveness.overdue() == ["lease"]
+
+    def test_renew_starts_missing_entry(self):
+        clock = FakeClock()
+        liveness = TaskLiveness(clock=clock)
+        liveness.renew("new", timeout_s=5.0)
+        assert liveness.in_flight() == 1
+        clock.now += 6
+        assert liveness.overdue() == ["new"]
+
     def test_cache_and_journal_fields(self, tmp_path):
         cache = ArtifactCache()
         cache.stats.compile_hits = 3

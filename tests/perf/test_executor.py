@@ -16,6 +16,7 @@ from repro.perf.executor import (
 from repro.perf.fingerprint import fingerprint
 from repro.robustness.faultinject import FaultPlan, FaultSpec
 from repro.robustness.journal import RunJournal
+from repro.robustness.retry import RetryPolicy
 
 TL = 600
 
@@ -234,6 +235,37 @@ class TestFactoryAndTimeouts:
         assert default_task_timeout(120_000) > MIN_TASK_TIMEOUT
         assert default_task_timeout(10 ** 6) > default_task_timeout(10 ** 5)
 
+    def test_default_timeout_scales_with_evaluation_cost(self):
+        # ISSUE 8 satellite: the deadline must track what actually
+        # drives simulation cost, not just the trace length.
+        tl = 10 ** 6
+        plain = default_task_timeout(tl)
+        checked = default_task_timeout(tl, self_check=True)
+        batched = default_task_timeout(tl, engine="batched")
+        assert checked > plain  # self-check multiplies per-cycle work
+        assert batched < plain  # the fused kernel is faster
+        # engine=None means the reference kernel — same budget.
+        assert default_task_timeout(tl, engine="reference") == plain
+        # The floor still applies however cheap the options make a task.
+        assert (
+            default_task_timeout(0, engine="batched") == MIN_TASK_TIMEOUT
+        )
+
+    def test_factory_derives_timeout_from_options(self):
+        fast = make_sweep_executor(
+            "supervised", _echo_task, 1, trace_length=10 ** 6,
+            engine="batched",
+        )
+        slow = make_sweep_executor(
+            "supervised", _echo_task, 1, trace_length=10 ** 6,
+            self_check=True,
+        )
+        try:
+            assert fast.task_timeout < slow.task_timeout
+        finally:
+            fast.close()
+            slow.close()
+
     def test_invalid_supervised_knobs_rejected(self):
         with pytest.raises(ConfigError, match="task_timeout"):
             SupervisedPoolExecutor(_echo_task, jobs=1, task_timeout=0.0)
@@ -264,3 +296,38 @@ class TestCancel:
         cancelled = sup.cancel()
         assert cancelled == 3
         assert sup.outstanding == 0
+
+    def test_cancel_while_requeued_task_is_inside_backoff(self):
+        # ISSUE 8 satellite: a worker_kill puts its task into the
+        # pending deque with a far-future not_before; cancel() must drop
+        # the waiting task, zero outstanding, and orphan no processes.
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="worker_kill", benchmark="b0",
+                             clear_after=1),)
+        )
+        sup = SupervisedPoolExecutor(
+            _echo_task,
+            jobs=1,
+            task_timeout=30.0,
+            worker_fault_plan=plan,
+            redispatch_policy=RetryPolicy(
+                max_attempts=5, base_delay=120.0, max_delay=120.0, seed=0
+            ),
+        )
+        for task in _tasks(2):
+            sup.submit(task)
+        # Drain b1; b0's re-dispatch is now parked behind a ~2-minute
+        # backoff deadline (the kill was noticed first).
+        delivered = {}
+        while "b1:single" not in delivered:
+            for result in sup.poll(timeout=1.0):
+                delivered[result.task.token] = result
+        assert sup.outstanding == 1
+        processes = list(sup._workers.values())
+        cancelled = sup.cancel()
+        assert cancelled == 1
+        assert sup.outstanding == 0
+        sup.close()
+        for process in processes:
+            process.join(timeout=10.0)
+            assert not process.is_alive()

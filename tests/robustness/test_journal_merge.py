@@ -233,6 +233,44 @@ class TestMergeValidation:
             merge_journals([], tmp_path / "merged")
 
 
+class TestDryRun:
+    def test_dry_run_accounts_without_writing(self, tmp_path):
+        run_dir = tmp_path / "run"
+        _write_row(run_dir, "a", "row:1", "fp1")
+        _write_row(run_dir, "b", "row:1", "fp1")  # duplicate across shards
+        _write_row(run_dir, "b", "row:2", "fp2")
+        out = tmp_path / "merged"
+        report = merge_journals([run_dir], out, dry_run=True)
+        assert report.rows_merged == 2
+        assert report.duplicates_dropped == 1
+        assert not out.exists()  # nothing written anywhere
+
+    def test_dry_run_then_real_merge_agree(self, tmp_path):
+        run_dir = tmp_path / "run"
+        _write_row(run_dir, "a", "row:1", "fp1")
+        _write_row(run_dir, "b", "row:2", "fp2")
+        out = tmp_path / "merged"
+        preview = merge_journals([run_dir], out, dry_run=True)
+        actual = merge_journals([run_dir], out)
+        assert preview.rows_merged == actual.rows_merged
+        assert preview.duplicates_dropped == actual.duplicates_dropped
+        assert preview.artifacts_missing == actual.artifacts_missing
+
+    def test_dry_run_flag_on_cli(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        _write_row(run_dir, "a", "row:1", "fp1")
+        merged_dir = tmp_path / "merged"
+        main(
+            [
+                "journal", "merge", str(run_dir),
+                "--output", str(merged_dir), "--dry-run",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "dry run: nothing written" in out
+        assert not merged_dir.exists()
+
+
 class TestCLI:
     def test_journal_merge_subcommand(self, tmp_path, capsys):
         run_dir = tmp_path / "run"

@@ -15,6 +15,11 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro cycle-time [--trace-length N] [--jobs N]
     python -m repro ablations [--benchmark NAME] [--trace-length N] [--jobs N]
                               [--retries N] [--resume DIR]
+    python -m repro explore [--driver random|grid|evolutionary|halving]
+                            [--seed N] [--budget N] [--population N]
+                            [--generations N] [--trace-length N] [--jobs N]
+                            [--trajectory FILE] [--frontier FILE]
+                            [--resume DIR]
     python -m repro bench [--quick] [--jobs N] [--output BENCH_table2.json]
     python -m repro replay BUNDLE.json
     python -m repro chaos [--quick] [--seed N] [--rounds N] [--run-dir DIR]
@@ -188,6 +193,78 @@ def _cmd_cycle_time(args: argparse.Namespace) -> None:
     table2 = run_table2(args.benchmarks or None, options)
     print(format_cycle_time_analysis(run_cycle_time_analysis(table2)))
     _report_cache(options)
+
+
+def _cmd_explore(args: argparse.Namespace) -> None:
+    from repro.gym.drivers import SearchSpec, run_search
+    from repro.gym.fitness import GymSettings
+    from repro.gym.report import (
+        format_frontier,
+        frontier_record,
+        header_record,
+        trial_record,
+        write_frontier,
+        write_trajectory,
+    )
+    from repro.gym.space import DesignSpace
+
+    settings = GymSettings(
+        benchmarks=(
+            tuple(args.benchmarks) if args.benchmarks else GymSettings().benchmarks
+        ),
+        trace_length=args.trace_length,
+        trace_seed=args.trace_seed,
+        tech=args.tech,
+        part=args.part,
+        engine=getattr(args, "engine", None),
+        self_check=getattr(args, "self_check", False),
+        cycle_budget=getattr(args, "cycle_budget", 0),
+    )
+    spec = SearchSpec(
+        driver=args.driver,
+        seed=args.seed,
+        budget=args.budget,
+        population=args.population,
+        generations=args.generations,
+        elite=args.elite,
+        tournament=args.tournament,
+        mutation_rate=args.mutation_rate,
+        eta=args.eta,
+    )
+    space = DesignSpace(max_clusters=args.max_clusters)
+    cache = _make_cache(args)
+    journal = _make_journal(args)
+    try:
+        result = run_search(
+            spec,
+            space,
+            settings,
+            jobs=getattr(args, "jobs", 1),
+            cache=cache,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    if args.trajectory:
+        records = [header_record(spec.driver, spec.seed, settings, result.baseline)]
+        records.extend(trial_record(i, g, t) for i, g, t in result.trials)
+        records.append(frontier_record(result.frontier))
+        write_trajectory(args.trajectory, records)
+        log.info("trajectory: %s", args.trajectory)
+    if args.frontier:
+        write_frontier(args.frontier, result.frontier)
+        log.info("frontier: %s", args.frontier)
+    print(format_frontier(result.frontier, result.baseline))
+    best = result.best
+    if best is not None:
+        print(
+            f"\nbest speedup: {best.point.slug} ({best.speedup:.4f}x over the "
+            f"1x8-way baseline; {len(result.trials)} trials, "
+            f"{result.journal_hits} replayed from the journal)"
+        )
+    if cache is not None:
+        log.info("%s", cache.stats.format())
 
 
 def _cmd_ablations(args: argparse.Namespace) -> None:
@@ -532,6 +609,110 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_flags(ab, cache_flags=False)
     _add_resilience_flags(ab)
     ab.set_defaults(func=_cmd_ablations)
+
+    ex = sub.add_parser(
+        "explore",
+        help="design-space exploration gym: search N-cluster machines "
+        "for the cycle-count vs cycle-time Pareto frontier",
+    )
+    ex.add_argument(
+        "--driver",
+        choices=["random", "grid", "evolutionary", "halving"],
+        default="random",
+        help="search strategy (all seeded and byte-reproducible)",
+    )
+    ex.add_argument("--seed", type=int, default=42, metavar="N")
+    ex.add_argument(
+        "--budget",
+        type=int,
+        default=16,
+        metavar="N",
+        help="random driver: total samples; halving: initial population",
+    )
+    ex.add_argument(
+        "--population",
+        type=int,
+        default=8,
+        metavar="N",
+        help="evolutionary driver: points per generation",
+    )
+    ex.add_argument("--generations", type=int, default=4, metavar="N")
+    ex.add_argument(
+        "--elite",
+        type=int,
+        default=2,
+        metavar="N",
+        help="evolutionary driver: parents copied unchanged per generation",
+    )
+    ex.add_argument(
+        "--tournament",
+        type=int,
+        default=3,
+        metavar="N",
+        help="evolutionary driver: tournament size for parent selection",
+    )
+    ex.add_argument(
+        "--mutation-rate",
+        type=float,
+        default=0.5,
+        metavar="P",
+        help="evolutionary driver: offspring mutation probability",
+    )
+    ex.add_argument(
+        "--eta",
+        type=int,
+        default=3,
+        metavar="N",
+        help="halving driver: promotion factor (top 1/eta survive a rung)",
+    )
+    ex.add_argument(
+        "--max-clusters",
+        type=int,
+        default=4,
+        metavar="N",
+        help="upper bound on clusters per sampled machine",
+    )
+    ex.add_argument("--benchmarks", nargs="*", default=None)
+    ex.add_argument(
+        "--trace-length",
+        type=int,
+        default=12_000,
+        metavar="N",
+        help="instructions simulated per workload per trial (searches "
+        "rank points; they do not publish tables)",
+    )
+    ex.add_argument("--trace-seed", type=int, default=7, metavar="N")
+    ex.add_argument(
+        "--tech",
+        choices=["0.8um", "0.35um", "0.18um"],
+        default="0.35um",
+        help="process generation for the Palacharla cycle-time model",
+    )
+    ex.add_argument(
+        "--part",
+        choices=["dual_none", "dual_local"],
+        default="dual_none",
+        help="'dual_none' simulates the shared native binary on every "
+        "point; 'dual_local' reschedules per point with the N-cluster "
+        "local scheduler",
+    )
+    ex.add_argument(
+        "--trajectory",
+        default=None,
+        metavar="FILE",
+        help="write the per-trial search trajectory as JSONL (no "
+        "timestamps: reruns and resumed runs are byte-identical)",
+    )
+    ex.add_argument(
+        "--frontier",
+        default=None,
+        metavar="FILE",
+        help="write the Pareto frontier as canonical JSON",
+    )
+    _add_robustness_flags(ex)
+    _add_perf_flags(ex)
+    _add_resilience_flags(ex)
+    ex.set_defaults(func=_cmd_explore)
 
     rp = sub.add_parser("report", help="regenerate everything into REPORT.md")
     rp.add_argument("--trace-length", type=int, default=40_000)

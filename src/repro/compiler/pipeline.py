@@ -203,6 +203,7 @@ def compile_program(
         program,
         resolver,
         cluster_by_value=partition_by_value if partitioner is not None else None,
+        num_clusters=assignment.num_clusters,
     )
 
     # Lower to machine code; step 6: postpass scheduling.

@@ -183,6 +183,7 @@ def allocate_registers(
     resolver: PoolResolver,
     cluster_by_value: Optional[dict[int, int]] = None,
     max_iterations: int = 12,
+    num_clusters: int = 2,
 ) -> AllocationResult:
     """Allocate architectural registers for ``program`` (rewrites it on spill).
 
@@ -193,6 +194,9 @@ def allocate_registers(
             live-range partitioner; ``None`` for cluster-oblivious
             allocation (the "native binary" of Section 4).
         max_iterations: safety bound on spill/recolour rounds.
+        num_clusters: how many clusters the partition spans — a range
+            recoloured into its alternate pool moves to the *next*
+            cluster modulo this (the pool resolver's fallback order).
     """
     cluster_by_value = dict(cluster_by_value or {})
     spills = SpillContext()
@@ -230,8 +234,9 @@ def allocate_registers(
             # the partition so lowering reports distribution truthfully.
             old = cluster_of[n]
             if old is not None:
-                cluster_by_value[lrs.ranges[n].value.vid] = 1 - old
-                cluster_of[n] = 1 - old
+                moved_to = (old + 1) % num_clusters
+                cluster_by_value[lrs.ranges[n].value.vid] = moved_to
+                cluster_of[n] = moved_to
 
         if not memory_spills:
             return AllocationResult(

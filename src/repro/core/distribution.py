@@ -55,16 +55,29 @@ class DistributionPlan:
     Attributes:
         scenario: which of the Section 2.1 scenarios applies.
         master: cluster that performs the computation.
-        slave: the second cluster for dual distribution, else ``None``.
+        slave: the *primary* helper cluster for dual distribution, else
+            ``None``.  On a two-cluster machine this is the only helper;
+            with more clusters it is ``slaves[0]``.
         forwarded_src_indices: positions (into the instruction's source
-            list) of operands the slave reads and forwards to the master
+            list) of operands a slave reads and forwards to the master
             through the slave-side issue slot and the master's operand
             transfer buffer.
-        result_forwarded: the master sends its result through the slave
+        result_forwarded: the master sends its result through a slave
             cluster's result transfer buffer (scenarios 3, 4, 5, 6).
-        global_dest: the destination is a global register — both copies
-            allocate a physical register and both register files are
+        global_dest: the destination is a global register — every copy
+            allocates a physical register and every register file is
             written (scenarios 4 and 5).
+        slaves: every helper cluster, in deterministic order (operand
+            homes in source order, then result receivers).  Length one on
+            two-cluster machines; an instruction on an N-cluster machine
+            can name registers homed in three or more clusters and then
+            needs one slave copy per remote cluster.
+        forwarded_homes: aligned with ``forwarded_src_indices`` — the
+            cluster whose slave copy reads and ships that source.
+        result_receivers: clusters (other than the master) whose result
+            transfer buffer receives the master's result: the
+            destination's home when it is a remote local register, or
+            every other cluster when the destination is global.
     """
 
     scenario: Scenario
@@ -73,6 +86,9 @@ class DistributionPlan:
     forwarded_src_indices: tuple[int, ...] = ()
     result_forwarded: bool = False
     global_dest: bool = False
+    slaves: tuple[int, ...] = ()
+    forwarded_homes: tuple[int, ...] = ()
+    result_receivers: tuple[int, ...] = ()
 
     @property
     def is_dual(self) -> bool:
@@ -82,6 +98,8 @@ class DistributionPlan:
     def clusters(self) -> tuple[int, ...]:
         if self.slave is None:
             return (self.master,)
+        if self.slaves:
+            return (self.master, *self.slaves)
         return (self.master, self.slave)
 
 
@@ -147,12 +165,29 @@ def plan_distribution(
         best = max(votes)
         candidates = [c for c in range(num_clusters) if votes[c] == best]
         master = preferred if preferred in candidates else candidates[0]
-    slave = 1 - master if num_clusters == 2 else _other_cluster(master, srcs, num_clusters)
-
     forwarded = tuple(
         i for i, s in enumerate(srcs) if master not in s
     )
+    #: Each forwarded source is shipped by the slave copy in its home
+    #: cluster (the minimum of its set keeps planning deterministic; for
+    #: a local register the set is a singleton).
+    forwarded_homes = tuple(min(srcs[i]) for i in forwarded)
     result_forwarded = global_dest or (dest_home is not None and dest_home != master)
+
+    if global_dest:
+        result_receivers = tuple(
+            c for c in range(num_clusters) if c != master
+        )
+    elif dest_home is not None and dest_home != master:
+        result_receivers = (dest_home,)
+    else:
+        result_receivers = ()
+
+    slaves: list[int] = []
+    for c in (*forwarded_homes, *result_receivers):
+        if c not in slaves:
+            slaves.append(c)
+    slave = slaves[0]
 
     if global_dest:
         scenario = (
@@ -172,17 +207,10 @@ def plan_distribution(
         forwarded_src_indices=forwarded,
         result_forwarded=result_forwarded,
         global_dest=global_dest,
+        slaves=tuple(slaves),
+        forwarded_homes=forwarded_homes,
+        result_receivers=result_receivers,
     )
-
-
-def _other_cluster(
-    master: int, srcs: list[frozenset[int]], num_clusters: int
-) -> int:
-    """Slave cluster for >2-cluster machines: where the minority operands live."""
-    for s in srcs:
-        if master not in s and len(s) >= 1:
-            return min(s)
-    return (master + 1) % num_clusters
 
 
 def plan_for_instruction(

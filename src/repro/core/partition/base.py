@@ -61,7 +61,7 @@ class Partitioner(abc.ABC):
 
 
 def complete_partition(
-    lrs: LiveRangeSet, partial: dict[int, Optional[int]]
+    lrs: LiveRangeSet, partial: dict[int, Optional[int]], num_clusters: int = 2
 ) -> dict[int, int]:
     """Fill unassigned local candidates round-robin (fallback used by
     partitioners for ranges no instruction writes)."""
@@ -73,6 +73,6 @@ def complete_partition(
         cluster = partial.get(lr.lrid)
         if cluster is None:
             cluster = next_cluster
-            next_cluster = 1 - next_cluster
+            next_cluster = (next_cluster + 1) % num_clusters
         result[lr.lrid] = cluster
     return result

@@ -94,7 +94,7 @@ class LocalScheduler(Partitioner):
                 cluster_of[lr.lrid] = cluster
                 self._assigned_counts[cluster] += 1
                 self.assignment_order.append(lr)
-        return complete_partition(lrs, cluster_of)
+        return complete_partition(lrs, cluster_of, self.num_clusters)
 
     # ------------------------------------------------------------- internals
     def block_order(self, program: ILProgram) -> list[BasicBlock]:

@@ -130,6 +130,30 @@ class RegisterAssignment:
         return cls(2, mapping)
 
     @classmethod
+    def round_robin(
+        cls, num_clusters: int, extra_globals: Iterable[Register] = ()
+    ) -> "RegisterAssignment":
+        """The even/odd map generalized to N clusters: ``reg.index % N``.
+
+        The stack and global pointers (and any ``extra_globals``) are
+        assigned to every cluster.  ``round_robin(1)`` is the monolithic
+        machine and ``round_robin(2)`` is exactly :meth:`even_odd_dual`,
+        so the N-cluster design-space gym and the paper's two fixed
+        machines share one assignment family.
+        """
+        if num_clusters < 1:
+            raise ValueError(f"round_robin needs >= 1 cluster, got {num_clusters}")
+        every = frozenset(range(num_clusters))
+        globals_ = {STACK_POINTER, GLOBAL_POINTER, *extra_globals}
+        mapping: dict[Register, frozenset[int]] = {}
+        for reg in all_registers():
+            if num_clusters > 1 and reg in globals_:
+                mapping[reg] = every
+            else:
+                mapping[reg] = frozenset({reg.index % num_clusters})
+        return cls(num_clusters, mapping)
+
+    @classmethod
     def low_high_dual(
         cls, extra_globals: Iterable[Register] = ()
     ) -> "RegisterAssignment":

@@ -1,0 +1,57 @@
+"""Design-space exploration gym (``repro explore``).
+
+Generalizes the paper's two hand-picked machines (1x8-way, 2x4-way) to
+a searchable family of N-cluster configurations and asks the paper's
+real question — where does partitioning's cycle-time win outweigh its
+cycle-count cost? — with seeded, resumable, byte-reproducible search
+drivers.  See DESIGN.md Section 16.
+"""
+
+from repro.gym.drivers import (
+    DRIVERS,
+    SearchResult,
+    SearchSpec,
+    halving_rungs,
+    run_search,
+)
+from repro.gym.fitness import (
+    ALL_BENCHMARKS,
+    Baseline,
+    GymSettings,
+    TrialResult,
+    compute_baseline,
+    config_cycle_time,
+    evaluate_point,
+)
+from repro.gym.pareto import dominates, pareto_frontier
+from repro.gym.space import (
+    PAPER_DUAL_POINT,
+    PAPER_SINGLE_POINT,
+    ClusterSpec,
+    DesignPoint,
+    DesignSpace,
+    issue_rules_for,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "Baseline",
+    "ClusterSpec",
+    "DRIVERS",
+    "DesignPoint",
+    "DesignSpace",
+    "GymSettings",
+    "PAPER_DUAL_POINT",
+    "PAPER_SINGLE_POINT",
+    "SearchResult",
+    "SearchSpec",
+    "TrialResult",
+    "compute_baseline",
+    "config_cycle_time",
+    "dominates",
+    "evaluate_point",
+    "halving_rungs",
+    "issue_rules_for",
+    "pareto_frontier",
+    "run_search",
+]

@@ -1,0 +1,56 @@
+"""Pareto frontier over (relative cycles, cycle time).
+
+The gym's two objectives pull in opposite directions — a monolithic
+machine minimizes cycle count, a deeply clustered one minimizes cycle
+time — so search results are reported as the set of non-dominated
+trials: no other trial is at least as good on both objectives and
+strictly better on one.
+
+Everything here is deterministic: trials are deduplicated by design-
+point fingerprint and the frontier is emitted in a stable sort order,
+so the frontier of a resumed or re-run search is byte-identical
+(asserted by tests/gym/test_drivers.py and the CI ``gym-smoke`` job).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.gym.fitness import TrialResult
+
+
+def dominates(a: TrialResult, b: TrialResult) -> bool:
+    """True when ``a`` is no worse than ``b`` on both objectives and
+    strictly better on at least one (minimizing both)."""
+    if a.rel_cycles > b.rel_cycles or a.cycle_time_ps > b.cycle_time_ps:
+        return False
+    return a.rel_cycles < b.rel_cycles or a.cycle_time_ps < b.cycle_time_ps
+
+
+def dedupe_trials(trials: Iterable[TrialResult]) -> list[TrialResult]:
+    """Drop repeat evaluations of the same design point (first wins; a
+    deterministic search re-evaluates a point to identical numbers)."""
+    seen: set[str] = set()
+    unique: list[TrialResult] = []
+    for trial in trials:
+        fp = trial.fingerprint
+        if fp not in seen:
+            seen.add(fp)
+            unique.append(trial)
+    return unique
+
+
+def pareto_frontier(trials: Sequence[TrialResult]) -> list[TrialResult]:
+    """The non-dominated subset, sorted by (rel_cycles, cycle_time_ps, slug).
+
+    Trials with identical objective pairs all survive (they are genuinely
+    tied machines), which keeps the frontier independent of input order.
+    """
+    unique = dedupe_trials(trials)
+    frontier = [
+        t
+        for t in unique
+        if not any(dominates(other, t) for other in unique)
+    ]
+    frontier.sort(key=lambda t: (t.rel_cycles, t.cycle_time_ps, t.point.slug))
+    return frontier

@@ -109,7 +109,7 @@ class InvariantChecker:
         if (
             uop.role is Role.MASTER
             and uop.partner is not None
-            and uop.partner.needs_operand_entry
+            and any(h.needs_operand_entry for h in uop.entry.uops[1:])
             and uop.seq not in cluster.operand_buffer.entries
         ):
             self._fail(

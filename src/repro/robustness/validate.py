@@ -161,10 +161,15 @@ def validate_assignment(
                     and not reg.is_zero
                     and index in assignment.clusters_of(reg)
                 )
-                if accessible > capacity:
+                if accessible >= capacity:
+                    # ``==`` is rejected too: with zero spare physical
+                    # registers the rename stage can never map a new
+                    # destination, so the first write to this class
+                    # deadlocks dispatch on an otherwise empty machine.
                     raise ConfigError(
                         f"cluster {index} must rename {accessible} {rclass.value} "
-                        f"registers but has only {capacity} physical registers",
+                        f"registers (plus at least one spare) but has only "
+                        f"{capacity} physical registers",
                         config=config.name,
                         cluster=index,
                     )

@@ -51,6 +51,12 @@ class TransferBuffer:
         return len(self.entries) >= self.capacity
 
     def allocate(self, seq: int, cycle: int) -> None:
+        if seq in self.entries:
+            # A later copy of the same instruction (an N-cluster plan can
+            # ship operands from several slaves to one master) shares the
+            # entry; the packet keeps its original allocation cycle.
+            self.stats.allocations += 1
+            return
         if self.is_full:
             raise RuntimeError(f"{self.name} overflow")
         self.entries[seq] = cycle

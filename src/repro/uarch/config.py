@@ -259,9 +259,14 @@ def with_buffer_entries(config: ProcessorConfig, entries: int) -> ProcessorConfi
 
 
 def default_assignment_for(config: ProcessorConfig) -> RegisterAssignment:
-    """The register-to-cluster map matching a configuration's shape."""
+    """The register-to-cluster map matching a configuration's shape.
+
+    One cluster gets the monolithic map, two the paper's even/odd map,
+    and N > 2 the modulo-N generalization (``RegisterAssignment.
+    round_robin``, which coincides with even/odd at N = 2).
+    """
     if config.num_clusters == 1:
         return RegisterAssignment.single_cluster()
     if config.num_clusters == 2:
         return RegisterAssignment.even_odd_dual()
-    raise ValueError(f"no default assignment for {config.num_clusters} clusters")
+    return RegisterAssignment.round_robin(config.num_clusters)

@@ -157,6 +157,11 @@ class _Recipe:
         "scen_i",
         "lat",
         "ff",
+        "slaves",       # every helper cluster (plan.slaves)
+        "multi",        # more than one helper (N>=3-cluster plans only)
+        "s_srcs_by",    # per helper: forwarded (rclass, uid, is_int) triples
+        "s_writes_by",  # per helper: writes its register-file copy
+        "n_shippers",   # distinct helper clusters forwarding operands
     )
 
     def __init__(self, instr, plan: DistributionPlan, config: ProcessorConfig) -> None:
@@ -187,6 +192,25 @@ class _Recipe:
         self.dest_is_int = dest is not None and dest.rclass is int_class
         self.m_writes = dest is not None and (plan.global_dest or not plan.result_forwarded)
         self.s_writes = dest is not None and (plan.global_dest or plan.result_forwarded)
+        self.slaves = plan.slaves
+        self.multi = len(plan.slaves) > 1
+        self.s_srcs_by = tuple(
+            tuple(
+                (
+                    instr.srcs[i].rclass,
+                    instr.srcs[i].uid,
+                    instr.srcs[i].rclass is int_class,
+                )
+                for i, home in zip(plan.forwarded_src_indices, plan.forwarded_homes)
+                if home == sc
+            )
+            for sc in plan.slaves
+        )
+        self.s_writes_by = tuple(
+            dest is not None and (plan.global_dest or sc in plan.result_receivers)
+            for sc in plan.slaves
+        )
+        self.n_shippers = len(set(plan.forwarded_homes))
         self.opcode = opcode
         self.iclass = opcode.iclass
         self.cat = _CATEGORY[opcode.iclass]
@@ -701,28 +725,38 @@ class BatchedProcessor(Processor):
                             and not is_result_phase_slave
                         ):
                             buf = clusters[uop.partner.cluster].operand_buffer
-                            if len(buf.entries) >= buf.capacity:
+                            if (
+                                len(buf.entries) >= buf.capacity
+                                and seq not in buf.entries
+                            ):
                                 blocked = "buffer"
                         if (
                             blocked is None
                             and role is MASTER
                             and uop.needs_result_entry
                         ):
-                            buf = clusters[uop.partner.cluster].result_buffer
-                            if len(buf.entries) >= buf.capacity:
-                                blocked = "buffer"
+                            for rcv in uop.entry.plan.result_receivers:
+                                buf = clusters[rcv].result_buffer
+                                if len(buf.entries) >= buf.capacity:
+                                    blocked = "buffer"
+                                    break
                     if blocked is not None:
                         if blocked == "buffer":
                             if uop.blocked_on_buffer_since < 0:
                                 uop.blocked_on_buffer_since = cycle
                                 self._bbuf += 1
                             blocked_buffer += 1
-                            partner_cluster = clusters[uop.partner.cluster]
-                            buf = (
-                                partner_cluster.operand_buffer
-                                if uop.needs_operand_entry and phase == 0
-                                else partner_cluster.result_buffer
-                            )
+                            if uop.needs_operand_entry and phase == 0:
+                                buf = clusters[uop.partner.cluster].operand_buffer
+                            else:
+                                # Master blocked on a result entry: charge
+                                # the first receiver buffer that is full.
+                                buf = clusters[uop.partner.cluster].result_buffer
+                                for rcv in uop.entry.plan.result_receivers:
+                                    cand = clusters[rcv].result_buffer
+                                    if len(cand.entries) >= cand.capacity:
+                                        buf = cand
+                                        break
                             buf.stats.full_stall_cycles += 1
                         else:
                             blocked_divider += 1
@@ -749,17 +783,22 @@ class BatchedProcessor(Processor):
                     if phase == 0:
                         cl.queue_free += 1
                     if role is SLAVE and uop.needs_operand_entry and phase == 0:
-                        # Slave ships the operand to the master's cluster.
+                        # Slave ships the operand to the master's cluster; a
+                        # sibling slave of the same instruction shares the
+                        # entry (mirrors TransferBuffer.allocate).
                         partner = uop.partner
                         buf = clusters[partner.cluster].operand_buffer
-                        if len(buf.entries) >= buf.capacity:
-                            raise RuntimeError(f"{buf.name} overflow")
-                        buf.entries[seq] = cycle
                         bstats = buf.stats
-                        bstats.allocations += 1
-                        occupancy = len(buf.entries)
-                        if occupancy > bstats.peak_occupancy:
-                            bstats.peak_occupancy = occupancy
+                        if seq in buf.entries:
+                            bstats.allocations += 1
+                        else:
+                            if len(buf.entries) >= buf.capacity:
+                                raise RuntimeError(f"{buf.name} overflow")
+                            buf.entries[seq] = cycle
+                            bstats.allocations += 1
+                            occupancy = len(buf.entries)
+                            if occupancy > bstats.peak_occupancy:
+                                bstats.peak_occupancy = occupancy
                         when = cycle + 1
                         bucket = events_map.get(when)
                         if bucket is None:
@@ -767,7 +806,7 @@ class BatchedProcessor(Processor):
                             heappush(event_cycles, when)
                         else:
                             bucket.append(("wake", partner))
-                        if uop.writes_dest or partner.needs_result_entry:
+                        if uop.writes_dest:
                             uop.state = SUSPENDED
                             uop.wait_count = 1
                         else:
@@ -855,29 +894,36 @@ class BatchedProcessor(Processor):
                                     break
                         partner = uop.partner
                         if role is MASTER and partner is not None:
-                            if partner.needs_operand_entry:
+                            helpers = uop.entry.uops
+                            if partner.needs_operand_entry or (
+                                len(helpers) > 2
+                                and uop.entry.plan.forwarded_src_indices
+                            ):
                                 heappush(
                                     cl.operand_buffer._pending_free, (cycle + 1, seq)
                                 )
                             if uop.needs_result_entry:
-                                buf = clusters[partner.cluster].result_buffer
-                                if len(buf.entries) >= buf.capacity:
-                                    raise RuntimeError(f"{buf.name} overflow")
-                                buf.entries[seq] = cycle
-                                bstats = buf.stats
-                                bstats.allocations += 1
-                                occupancy = len(buf.entries)
-                                if occupancy > bstats.peak_occupancy:
-                                    bstats.peak_occupancy = occupancy
                                 wake_at = done - 1
                                 if wake_at < cycle + 1:
                                     wake_at = cycle + 1
-                                bucket = events_map.get(wake_at)
-                                if bucket is None:
-                                    events_map[wake_at] = [("wake", partner)]
-                                    heappush(event_cycles, wake_at)
-                                else:
-                                    bucket.append(("wake", partner))
+                                for receiver in helpers[1:]:
+                                    if not receiver.writes_dest:
+                                        continue
+                                    buf = clusters[receiver.cluster].result_buffer
+                                    if len(buf.entries) >= buf.capacity:
+                                        raise RuntimeError(f"{buf.name} overflow")
+                                    buf.entries[seq] = cycle
+                                    bstats = buf.stats
+                                    bstats.allocations += 1
+                                    occupancy = len(buf.entries)
+                                    if occupancy > bstats.peak_occupancy:
+                                        bstats.peak_occupancy = occupancy
+                                    bucket = events_map.get(wake_at)
+                                    if bucket is None:
+                                        events_map[wake_at] = [("wake", receiver)]
+                                        heappush(event_cycles, wake_at)
+                                    else:
+                                        bucket.append(("wake", receiver))
                         bucket = events_map.get(done)
                         if bucket is None:
                             events_map[done] = [("complete", uop)]
@@ -949,7 +995,8 @@ class BatchedProcessor(Processor):
                     dstall += 1
                     break
                 is_dual_entry = recipe.is_dual
-                if is_dual_entry:
+                multi = recipe.multi
+                if is_dual_entry and not multi:
                     slave_cluster = clusters[recipe.slave]
                     if slave_cluster.queue_free < 1:
                         slave_cluster.stats.queue_full_stalls += 1
@@ -965,6 +1012,31 @@ class BatchedProcessor(Processor):
                         if acct is not None:
                             acct.note_dispatch_block("regfile_full")
                         dstall += 1
+                        break
+                elif multi:
+                    # N>=3-cluster plan: every helper cluster needs a queue
+                    # slot, and every result receiver a free register.
+                    blocked_dispatch = False
+                    for si, sc_index in enumerate(recipe.slaves):
+                        sc = clusters[sc_index]
+                        if sc.queue_free < 1:
+                            sc.stats.queue_full_stalls += 1
+                            if acct is not None:
+                                acct.note_dispatch_block("queue_full")
+                            dstall += 1
+                            blocked_dispatch = True
+                            break
+                        r = sc.rename
+                        if recipe.s_writes_by[si] and not (
+                            r.file_int if dest_is_int else r.file_fp
+                        ).free:
+                            sc.stats.regfile_full_stalls += 1
+                            if acct is not None:
+                                acct.note_dispatch_block("regfile_full")
+                            dstall += 1
+                            blocked_dispatch = True
+                            break
+                    if blocked_dispatch:
                         break
                 fetch_buffer.popleft()
                 # ---- _make_entry (RobEntry slots written inline; mirrors
@@ -1018,7 +1090,9 @@ class BatchedProcessor(Processor):
                 master.lat0 = recipe.lat
                 master.fastflags = recipe.ff
                 master.src_phys = src_phys = []
-                wait = 1 if has_fwd else 0
+                # One wake per shipping helper (exactly ``has_fwd`` on a
+                # two-cluster machine, where all forwards share one slave).
+                wait = recipe.n_shippers
                 for rclass, reg_uid, is_int in recipe.m_srcs:
                     rfile = m_rename.file_int if is_int else m_rename.file_fp
                     phys = rfile.mapping[reg_uid]
@@ -1047,7 +1121,7 @@ class BatchedProcessor(Processor):
                 )
                 if occupancy > mstats.peak_queue_occupancy:
                     mstats.peak_queue_occupancy = occupancy
-                if is_dual_entry:
+                if is_dual_entry and not multi:
                     slave = new_uop(Uop)
                     slave.entry = entry
                     slave.role = SLAVE
@@ -1099,6 +1173,64 @@ class BatchedProcessor(Processor):
                     )
                     if occupancy > sstats.peak_queue_occupancy:
                         sstats.peak_queue_occupancy = occupancy
+                elif multi:
+                    # One slave copy per helper cluster (mirrors the
+                    # reference _make_entry loop; cold path — only N>=3
+                    # plans spanning three or more clusters reach it).
+                    for si, sc_index in enumerate(recipe.slaves):
+                        sc = clusters[sc_index]
+                        s_rename = sc.rename
+                        own_srcs = recipe.s_srcs_by[si]
+                        slave = new_uop(Uop)
+                        slave.entry = entry
+                        slave.role = SLAVE
+                        slave.cluster = sc_index
+                        slave.opcode = recipe.opcode
+                        slave.iclass = recipe.iclass
+                        slave.dest_phys = None
+                        slave.state = WAITING
+                        slave.issue_cycle = -1
+                        slave.done_cycle = -1
+                        slave.needs_operand_entry = bool(own_srcs)
+                        slave.needs_result_entry = False
+                        slave.writes_dest = recipe.s_writes_by[si]
+                        slave.forwards_result_only = not own_srcs
+                        slave.intercopy_pending = not own_srcs
+                        slave.store_dep = None
+                        slave.blocked_on_buffer_since = -1
+                        slave.lat0 = recipe.lat
+                        slave.fastflags = recipe.ff
+                        slave.src_phys = src_phys = []
+                        wait = 0 if own_srcs else 1
+                        for rclass, reg_uid, is_int in own_srcs:
+                            rfile = s_rename.file_int if is_int else s_rename.file_fp
+                            phys = rfile.mapping[reg_uid]
+                            src_phys.append((rclass, phys))
+                            if not rfile.ready[phys]:
+                                wait += 1
+                                rfile.waiters[phys].append(slave)
+                        slave.wait_count = wait
+                        if recipe.s_writes_by[si]:
+                            rfile = s_rename.file_int if dest_is_int else s_rename.file_fp
+                            phys = rfile.free.pop()
+                            prev = rfile.mapping.get(recipe.dest_uid)
+                            rfile.mapping[recipe.dest_uid] = phys
+                            rfile.ready[phys] = False
+                            rfile.waiters[phys].clear()
+                            slave.dest_phys = (recipe.dest_rc, phys)
+                            rename_undo.append(
+                                (sc_index, recipe.dest_rc, recipe.dest_uid, phys, prev)
+                            )
+                        slave.partner = master
+                        uops.append(slave)
+                        sc.queue_free -= 1
+                        sstats = sc.stats
+                        occupancy = (
+                            sc.config.dispatch_queue_entries - sc.queue_free
+                        )
+                        if occupancy > sstats.peak_queue_occupancy:
+                            sstats.peak_queue_occupancy = occupancy
+                    master.partner = uops[1]
                 if fl & F_LOAD:
                     address = dyn.address
                     if address is not None:
@@ -1115,7 +1247,19 @@ class BatchedProcessor(Processor):
                     address = dyn.address
                     if address is not None:
                         pending_stores[address] = master
-                if is_dual_entry:
+                if multi:
+                    entry.outstanding = len(uops)
+                    for u in uops:
+                        if u.wait_count == 0:
+                            u.state = READY
+                            heappush(clusters[u.cluster].ready, (seq, 0, u))
+                    for u in uops:
+                        role_value = "master" if u.role is MASTER else "slave"
+                        recent_append((cycle, "dispatch", seq, role_value, u.cluster))
+                        if recorder is not None:
+                            recorder.record(cycle, "dispatch", seq, role_value, u.cluster)
+                    budget -= len(uops)
+                elif is_dual_entry:
                     entry.outstanding = 2
                     if master.wait_count == 0:
                         master.state = READY

@@ -635,18 +635,21 @@ class Processor:
                 self._note_dispatch_block("regfile_full")
                 return False
         if plan.is_dual:
-            slave = self.clusters[plan.slave]
-            if slave.queue_free < 1:
-                slave.stats.queue_full_stalls += 1
-                self._note_dispatch_block("queue_full")
-                return False
-            slave_writes = dest is not None and (plan.global_dest or plan.result_forwarded)
-            if slave_writes:
-                need_int = 1 if dest.rclass is RegisterClass.INT else 0
-                if not slave.rename.can_allocate(need_int, 1 - need_int):
-                    slave.stats.regfile_full_stalls += 1
-                    self._note_dispatch_block("regfile_full")
+            for index in plan.slaves:
+                slave = self.clusters[index]
+                if slave.queue_free < 1:
+                    slave.stats.queue_full_stalls += 1
+                    self._note_dispatch_block("queue_full")
                     return False
+                slave_writes = dest is not None and (
+                    plan.global_dest or index in plan.result_receivers
+                )
+                if slave_writes:
+                    need_int = 1 if dest.rclass is RegisterClass.INT else 0
+                    if not slave.rename.can_allocate(need_int, 1 - need_int):
+                        slave.stats.regfile_full_stalls += 1
+                        self._note_dispatch_block("regfile_full")
+                        return False
         return True
 
     def _make_entry(
@@ -695,7 +698,9 @@ class Processor:
         master.needs_result_entry = plan.result_forwarded
         if forwarded:
             master.intercopy_pending = True
-            master.wait_count += 1
+            # One wake per shipping slave: each distinct home cluster
+            # issues one slave copy that forwards its operands together.
+            master.wait_count += len(set(plan.forwarded_homes))
         entry.uops.append(master)
         master_cluster.queue_free -= 1
         master_cluster.stats.peak_queue_occupancy = max(
@@ -704,30 +709,44 @@ class Processor:
         )
 
         if plan.is_dual:
-            slave_cluster = self.clusters[plan.slave]
-            slave = Uop(entry, Role.SLAVE, plan.slave, opcode)
-            for i in plan.forwarded_src_indices:
-                self._add_source(slave, slave_cluster, instr.srcs[i])
-            slave.needs_operand_entry = bool(forwarded)
-            slave.writes_dest = dest is not None and (
-                plan.global_dest or plan.result_forwarded
-            )
-            if slave.writes_dest:
-                self._allocate_dest(entry, slave, slave_cluster, dest)
-            if not forwarded:
-                # Result-only slave (scenarios 3 and 4): waits for the
-                # master's result before it can issue.
-                slave.forwards_result_only = True
-                slave.intercopy_pending = True
-                slave.wait_count += 1
-            slave.partner = master
-            master.partner = slave
-            entry.uops.append(slave)
-            slave_cluster.queue_free -= 1
-            slave_cluster.stats.peak_queue_occupancy = max(
-                slave_cluster.stats.peak_queue_occupancy,
-                slave_cluster.config.dispatch_queue_entries - slave_cluster.queue_free,
-            )
+            # One slave copy per helper cluster.  Two-cluster machines
+            # always have exactly one; an N-cluster instruction naming
+            # registers homed in three or more clusters gets one shipper
+            # per remote source home plus result-only copies for every
+            # remote destination cluster.
+            for index in plan.slaves:
+                slave_cluster = self.clusters[index]
+                slave = Uop(entry, Role.SLAVE, index, opcode)
+                own_srcs = [
+                    i
+                    for i, home in zip(
+                        plan.forwarded_src_indices, plan.forwarded_homes
+                    )
+                    if home == index
+                ]
+                for i in own_srcs:
+                    self._add_source(slave, slave_cluster, instr.srcs[i])
+                slave.needs_operand_entry = bool(own_srcs)
+                slave.writes_dest = dest is not None and (
+                    plan.global_dest or index in plan.result_receivers
+                )
+                if slave.writes_dest:
+                    self._allocate_dest(entry, slave, slave_cluster, dest)
+                if not own_srcs:
+                    # Result-only slave (scenarios 3 and 4): waits for the
+                    # master's result before it can issue.
+                    slave.forwards_result_only = True
+                    slave.intercopy_pending = True
+                    slave.wait_count += 1
+                slave.partner = master
+                entry.uops.append(slave)
+                slave_cluster.queue_free -= 1
+                slave_cluster.stats.peak_queue_occupancy = max(
+                    slave_cluster.stats.peak_queue_occupancy,
+                    slave_cluster.config.dispatch_queue_entries
+                    - slave_cluster.queue_free,
+                )
+            master.partner = entry.uops[1]
 
         # Memory dependences: a load waits on the youngest older store to
         # the same address still in flight (perfect disambiguation with
@@ -800,11 +819,17 @@ class Processor:
                     uop.blocked_on_buffer_since = cycle
                 if blocked == "buffer":
                     blocked_buffer += 1
-                    buffer = (
-                        self.clusters[uop.partner.cluster].operand_buffer
-                        if uop.needs_operand_entry and phase == 0
-                        else self.clusters[uop.partner.cluster].result_buffer
-                    )
+                    if uop.needs_operand_entry and phase == 0:
+                        buffer = self.clusters[uop.partner.cluster].operand_buffer
+                    else:
+                        # Master blocked on a result entry: charge the
+                        # first receiver buffer that is actually full.
+                        buffer = self.clusters[uop.partner.cluster].result_buffer
+                        for index in uop.entry.plan.result_receivers:
+                            candidate = self.clusters[index].result_buffer
+                            if candidate.is_full:
+                                buffer = candidate
+                                break
                     buffer.stats.full_stall_cycles += 1
                 else:
                     blocked_divider += 1
@@ -843,13 +868,16 @@ class Processor:
             ):
                 return "divider"
         if uop.needs_operand_entry and phase == 0 and not is_result_phase_slave:
-            partner_cluster = self.clusters[uop.partner.cluster]
-            if partner_cluster.operand_buffer.is_full:
+            buf = self.clusters[uop.partner.cluster].operand_buffer
+            # A sibling slave of the same instruction may already hold the
+            # (shared) entry; only a buffer full of *other* instructions
+            # blocks the ship.
+            if buf.is_full and uop.seq not in buf.entries:
                 return "buffer"
         if uop.role is Role.MASTER and uop.needs_result_entry:
-            partner_cluster = self.clusters[uop.partner.cluster]
-            if partner_cluster.result_buffer.is_full:
-                return "buffer"
+            for index in uop.entry.plan.result_receivers:
+                if self.clusters[index].result_buffer.is_full:
+                    return "buffer"
         return None
 
     def _do_issue(self, uop: Uop, cluster: _Cluster, cycle: int, phase: int) -> None:
@@ -886,7 +914,7 @@ class Processor:
             # The inter-copy dependence is removed when the slave issues;
             # the master may issue as soon as the next cycle (Section 2.1).
             self._schedule(cycle + 1, ("wake", uop.partner))
-            if uop.writes_dest or uop.partner.needs_result_entry:
+            if uop.writes_dest:
                 # Scenario 5: operand sent, now suspend awaiting the result.
                 uop.state = UopState.SUSPENDED
                 uop.wait_count = 1
@@ -913,18 +941,25 @@ class Processor:
         if (
             uop.role is Role.MASTER
             and uop.partner is not None
-            and uop.partner.needs_operand_entry
+            and uop.entry.plan.forwarded_src_indices
         ):
-            # This master consumes the forwarded operand: the entry in its
-            # own cluster's operand buffer frees next cycle (Section 2.1).
+            # This master consumes the forwarded operand(s): the entry in
+            # its own cluster's operand buffer frees next cycle (Section
+            # 2.1).  Operands shipped by different slaves of the same
+            # instruction arrive as one packet and share the entry.
             cluster.operand_buffer.free_at(uop.seq, cycle + 1)
         if uop.needs_result_entry:
-            slave_cluster = self.clusters[uop.partner.cluster]
-            slave_cluster.result_buffer.allocate(uop.seq, cycle)
-            # The slave's dependence is removed two cycles before the master
-            # finishes; it can issue one cycle after the master at best.
+            # The receiver's dependence is removed two cycles before the
+            # master finishes; it can issue one cycle after the master at
+            # best.  Every cluster that writes the destination receives
+            # the result through its own result transfer buffer.
             wake_at = max(cycle + 1, done - 1)
-            self._schedule(wake_at, ("wake", uop.partner))
+            for receiver in uop.entry.uops[1:]:
+                if receiver.writes_dest:
+                    self.clusters[receiver.cluster].result_buffer.allocate(
+                        uop.seq, cycle
+                    )
+                    self._schedule(wake_at, ("wake", receiver))
         self._schedule(done, ("complete", uop))
 
     def _execution_latency(self, uop: Uop, cycle: int) -> int:
@@ -1038,6 +1073,11 @@ class Processor:
                             buffer = self.clusters[uop.partner.cluster].operand_buffer
                         elif uop.needs_result_entry:
                             buffer = self.clusters[uop.partner.cluster].result_buffer
+                            for index in uop.entry.plan.result_receivers:
+                                candidate = self.clusters[index].result_buffer
+                                if candidate.is_full:
+                                    buffer = candidate
+                                    break
                         else:
                             continue
                         if any(owner > seq for owner in buffer.entries):

@@ -157,4 +157,4 @@ class RobEntry:
 
     @property
     def is_dual(self) -> bool:
-        return len(self.uops) == 2
+        return len(self.uops) >= 2

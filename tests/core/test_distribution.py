@@ -169,3 +169,86 @@ def test_property_plan_invariants(srcs, dest, preferred):
     # SINGLE plans can write their destination locally.
     if not p.is_dual and dest is not None and dest is not BOTH:
         assert p.master in dest
+
+
+# --------------------------------------------------------------------------
+# N-cluster plans: multi-helper generalization regression tests.
+
+C2 = frozenset({2})
+C3 = frozenset({3})
+
+
+def plan_n(srcs, dest, n, preferred=0):
+    return plan_distribution(srcs, dest, num_clusters=n, preferred=preferred)
+
+
+class TestTwoClusterPlansUnchanged:
+    """The N-cluster fields specialize exactly to the old 2-cluster shape."""
+
+    def test_single_slave_fields(self):
+        p = plan([C0, C1], C0)
+        assert p.slaves == (1,)
+        assert p.forwarded_homes == (1,)
+        assert p.result_receivers == ()
+        assert p.clusters == (0, 1)
+
+    def test_result_receiver_is_the_slave(self):
+        p = plan([C0, C0], C1)
+        assert p.slaves == (1,)
+        assert p.result_receivers == (1,)
+
+    def test_global_dest_receiver(self):
+        p = plan([C0, C0], BOTH)
+        assert p.result_receivers == (1,)
+        assert p.slaves == (1,)
+
+
+class TestMultiClusterPlans:
+    def test_sources_homed_in_two_remote_clusters(self):
+        # srcs on clusters 1 and 2, dest on 0: one slave copy per remote
+        # source home, each shipping its own operand to the master.
+        p = plan_n([C1, C2], C0, n=3)
+        assert p.master == 0
+        assert p.scenario is Scenario.DUAL_OPERAND
+        assert p.forwarded_src_indices == (0, 1)
+        assert p.forwarded_homes == (1, 2)
+        assert p.result_receivers == ()
+        assert p.slaves == (1, 2)
+        assert p.slave == 1  # primary helper is slaves[0]
+        assert p.clusters == (0, 1, 2)
+
+    def test_remote_sources_and_remote_dest(self):
+        # Master keeps its own source; the other source ships from 2 and
+        # the result is forwarded to the destination's home, cluster 3.
+        p = plan_n([C1, C2], C3, n=4, preferred=1)
+        assert p.master == 1
+        assert p.scenario is Scenario.DUAL_OPERAND_RESULT
+        assert p.forwarded_src_indices == (1,)
+        assert p.forwarded_homes == (2,)
+        assert p.result_receivers == (3,)
+        assert p.slaves == (2, 3)
+
+    def test_global_dest_broadcasts_to_every_other_cluster(self):
+        everywhere = frozenset({0, 1, 2, 3})
+        p = plan_n([C0, C0], everywhere, n=4)
+        assert p.master == 0
+        assert p.scenario is Scenario.DUAL_GLOBAL
+        assert p.result_receivers == (1, 2, 3)
+        assert p.slaves == (1, 2, 3)
+        assert p.global_dest and p.result_forwarded
+
+    def test_shipper_that_also_receives_is_one_slave(self):
+        # Cluster 2 both ships a source and receives the result: the two
+        # roles collapse into one slave copy, not two.
+        p = plan_n([C1, C1, C2], C2, n=3)
+        assert p.master == 1
+        assert p.forwarded_homes == (2,)
+        assert p.result_receivers == (2,)
+        assert p.slaves == (2,)
+        assert p.scenario is Scenario.DUAL_OPERAND_RESULT
+
+    def test_colocated_registers_stay_single_on_big_machines(self):
+        p = plan_n([C2, C2], C2, n=4)
+        assert p.scenario is Scenario.SINGLE
+        assert p.master == 2
+        assert p.slaves == ()

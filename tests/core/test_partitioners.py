@@ -88,3 +88,25 @@ class TestInterface:
         prog, lrs = sample()
         part = LocalScheduler().partition(prog, lrs)
         assert set(part) == {lr.lrid for lr in lrs.local_candidates()}
+
+
+class TestNClusterCompletion:
+    def test_complete_partition_round_robins_three_clusters(self):
+        prog, lrs = sample()
+        partial = {lr.lrid: None for lr in lrs.local_candidates()}
+        full = complete_partition(lrs, partial, num_clusters=3)
+        assert len(full) == len(lrs.local_candidates())
+        counts = [0, 0, 0]
+        for c in full.values():
+            assert c in (0, 1, 2)
+            counts[c] += 1
+        assert max(counts) - min(counts) <= 1
+
+    def test_preassigned_clusters_survive_completion(self):
+        prog, lrs = sample()
+        locals_ = lrs.local_candidates()
+        pinned = locals_[0].lrid
+        partial = {lr.lrid: None for lr in locals_}
+        partial[pinned] = 2
+        full = complete_partition(lrs, partial, num_clusters=3)
+        assert full[pinned] == 2

@@ -100,3 +100,36 @@ class TestValidation:
     def test_describe_mentions_clusters(self):
         text = RegisterAssignment.even_odd_dual().describe()
         assert "cluster 0" in text and "globals" in text
+
+
+class TestRoundRobin:
+    """The modulo-N map behind the gym's arbitrary cluster counts."""
+
+    def test_round_robin_two_is_exactly_even_odd(self):
+        rr = RegisterAssignment.round_robin(2)
+        eo = RegisterAssignment.even_odd_dual()
+        for reg in all_registers():
+            assert rr.clusters_of(reg) == eo.clusters_of(reg)
+
+    def test_round_robin_one_is_the_monolithic_map(self):
+        rr = RegisterAssignment.round_robin(1)
+        mono = RegisterAssignment.single_cluster()
+        for reg in all_registers():
+            assert rr.clusters_of(reg) == mono.clusters_of(reg)
+
+    def test_modulo_three_homes(self):
+        a = RegisterAssignment.round_robin(3)
+        everywhere = frozenset({0, 1, 2})
+        for reg in all_registers():
+            owners = a.clusters_of(reg)
+            if owners == everywhere:
+                continue  # zero registers, SP/GP
+            assert owners == frozenset({reg.index % 3})
+        assert a.clusters_of(INT_ZERO) == everywhere
+        assert a.is_global(STACK_POINTER) and a.is_global(GLOBAL_POINTER)
+
+    def test_extra_globals_widened_everywhere(self):
+        extra = int_reg(9)
+        a = RegisterAssignment.round_robin(4, extra_globals=[extra])
+        assert a.clusters_of(extra) == frozenset({0, 1, 2, 3})
+        assert a.clusters_of(int_reg(10)) == frozenset({2})

@@ -1,0 +1,87 @@
+"""Tests for the (rel_cycles, cycle_time) Pareto frontier."""
+
+import random
+
+from repro.gym.fitness import TrialResult
+from repro.gym.pareto import dedupe_trials, dominates, pareto_frontier
+from repro.gym.space import ClusterSpec, DesignPoint
+
+#: Distinct widths/queues give every fabricated trial a distinct genome
+#: (dedupe keys on the design-point fingerprint).
+_AXES = [(w, q) for w in (1, 2, 4, 8) for q in (16, 32, 64, 128)]
+
+
+def trial(rel, ps, index=0, speedup=1.0):
+    width, queue = _AXES[index]
+    point = DesignPoint(clusters=(ClusterSpec(width, queue, 64),), buffer_entries=0)
+    return TrialResult(
+        point=point,
+        cycles={"compress": 100 + index},
+        rel_cycles=rel,
+        cycle_time_ps=ps,
+        speedup=speedup,
+    )
+
+
+class TestDominates:
+    def test_strictly_better_on_both(self):
+        assert dominates(trial(0.9, 500.0), trial(1.0, 600.0, 1))
+
+    def test_better_on_one_equal_on_other(self):
+        assert dominates(trial(0.9, 500.0), trial(1.0, 500.0, 1))
+        assert dominates(trial(0.9, 500.0), trial(0.9, 600.0, 1))
+
+    def test_equal_pair_does_not_dominate(self):
+        assert not dominates(trial(0.9, 500.0), trial(0.9, 500.0, 1))
+
+    def test_trade_off_does_not_dominate(self):
+        a, b = trial(0.9, 600.0), trial(1.0, 500.0, 1)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+
+class TestDedupe:
+    def test_first_evaluation_wins(self):
+        a = trial(0.9, 500.0)
+        repeat = trial(0.9, 500.0)  # same genome
+        other = trial(1.0, 400.0, 1)
+        assert dedupe_trials([a, repeat, other]) == [a, other]
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        best = trial(0.8, 400.0)
+        dominated = trial(0.9, 500.0, 1)
+        assert pareto_frontier([dominated, best]) == [best]
+
+    def test_trade_offs_all_survive(self):
+        ipc = trial(0.8, 600.0)
+        clock = trial(1.2, 300.0, 1)
+        middle = trial(1.0, 450.0, 2)
+        frontier = pareto_frontier([clock, middle, ipc])
+        assert frontier == [ipc, middle, clock]  # sorted by rel_cycles
+
+    def test_ties_survive_together(self):
+        a = trial(1.0, 500.0)
+        b = trial(1.0, 500.0, 1)
+        assert set(t.point.slug for t in pareto_frontier([a, b])) == {
+            a.point.slug,
+            b.point.slug,
+        }
+
+    def test_order_invariant(self):
+        trials = [
+            trial(0.8, 600.0, 0),
+            trial(0.9, 550.0, 1),
+            trial(0.95, 560.0, 2),  # dominated by index 1
+            trial(1.1, 300.0, 3),
+            trial(1.1, 300.0, 4),  # tied with index 3
+        ]
+        reference = pareto_frontier(trials)
+        for seed in range(5):
+            shuffled = trials[:]
+            random.Random(seed).shuffle(shuffled)
+            assert pareto_frontier(shuffled) == reference
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []

@@ -222,3 +222,42 @@ class TestValidateRun:
                 trace,
                 program,
             )
+
+
+class TestRenameHeadroom:
+    """A register file exactly the size of its accessible namespace has
+    zero rename headroom: the first write deadlocks dispatch, so
+    validation rejects it up front."""
+
+    @staticmethod
+    def _accessible_int(assignment, cluster):
+        from repro.isa.registers import RegisterClass, all_registers
+
+        return sum(
+            1
+            for reg in all_registers()
+            if reg.rclass is RegisterClass.INT
+            and not reg.is_zero
+            and cluster in assignment.clusters_of(reg)
+        )
+
+    def test_exact_capacity_rejected(self):
+        base = dual_cluster_config()
+        assignment = RegisterAssignment.even_odd_dual()
+        accessible = self._accessible_int(assignment, 0)
+        clusters = (
+            replace(base.clusters[0], int_physical_registers=accessible),
+            base.clusters[1],
+        )
+        with pytest.raises(ConfigError, match="spare"):
+            validate_assignment(assignment, replace(base, clusters=clusters))
+
+    def test_one_spare_register_accepted(self):
+        base = dual_cluster_config()
+        assignment = RegisterAssignment.even_odd_dual()
+        accessible = self._accessible_int(assignment, 0)
+        clusters = (
+            replace(base.clusters[0], int_physical_registers=accessible + 1),
+            base.clusters[1],
+        )
+        validate_assignment(assignment, replace(base, clusters=clusters))

@@ -114,3 +114,27 @@ class TestDefaultAssignments:
 
         with pytest.raises(ValueError):
             Processor(dual_cluster_config(), RegisterAssignment.single_cluster())
+
+
+class TestNClusterDefaultAssignment:
+    def test_three_and_four_clusters_get_the_modulo_map(self):
+        from repro.gym.space import ClusterSpec, DesignPoint
+        from repro.isa.registers import all_registers
+
+        for n in (3, 4):
+            point = DesignPoint(
+                clusters=(ClusterSpec(2, 32, 64),) * n, buffer_entries=4
+            )
+            a = default_assignment_for(point.to_config())
+            rr = RegisterAssignment.round_robin(n)
+            assert a.num_clusters == n
+            for reg in all_registers():
+                assert a.clusters_of(reg) == rr.clusters_of(reg)
+
+    def test_dual_stays_even_odd(self):
+        from repro.isa.registers import all_registers
+
+        a = default_assignment_for(dual_cluster_config())
+        eo = RegisterAssignment.even_odd_dual()
+        for reg in all_registers():
+            assert a.clusters_of(reg) == eo.clusters_of(reg)

@@ -184,3 +184,57 @@ class TestEventLoopProgress:
         processor._schedule(3, ("fetch_resume", 98))
         assert processor._process_events(3) == 2
         assert processor._process_events(3) == 0
+
+
+# --------------------------------------------------------------------------
+# N-cluster differential sweep: the batched engine must stay bit-identical
+# across the whole gym design space, not just the paper's two machines.
+
+import random
+
+from repro.gym.space import ClusterSpec, DesignPoint, DesignSpace
+
+
+def _gym_points():
+    """Twenty seeded random machines, five per cluster count 1-4."""
+    points = []
+    rng = random.Random(97)
+    for n in (1, 2, 3, 4):
+        space = DesignSpace(min_clusters=n, max_clusters=n)
+        points.extend(space.sample(rng) for _ in range(5))
+    return points
+
+
+#: Hand-picked 3-cluster asymmetric machine: the shape that exposed the
+#: two-cluster hardcoding in multi-helper distribution (a slave rename
+#: once looked up a third cluster's register and crashed).
+ASYMMETRIC_3CLUSTER = DesignPoint(
+    clusters=(ClusterSpec(4, 64, 64), ClusterSpec(2, 32, 64), ClusterSpec(1, 16, 64)),
+    buffer_entries=4,
+    extra_globals=2,
+)
+
+GYM_POINTS = _gym_points() + [ASYMMETRIC_3CLUSTER]
+
+
+class TestNClusterIdentity:
+    @pytest.mark.parametrize("point", GYM_POINTS, ids=lambda p: p.slug)
+    def test_batched_matches_reference(self, point, artifact_cache):
+        options = EvaluationOptions(
+            trace_length=800,
+            dual_config=point.to_config(),
+            dual_assignment=point.assignment(),
+        )
+        results = {}
+        for engine in ENGINES:
+            outcome = evaluate_workload_part(
+                SPEC92["compress"](),
+                "dual_none",
+                replace(options, engine=engine),
+                artifact_cache,
+            )
+            results[engine] = (
+                outcome.sim.cycles,
+                fingerprint(outcome.sim.stats.as_dict()),
+            )
+        assert results["batched"] == results["reference"]

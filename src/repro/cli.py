@@ -7,6 +7,7 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
                            [--executor pool|supervised|distributed]
                            [--task-timeout S] [--redispatch-budget N]
                            [--dist-port P] [--dist-min-hosts N] [--dist-wait S]
+                           [--spans] [--spans-dir DIR]
     python -m repro worker serve --connect HOST:PORT [--host NAME]
                            [--run-dir DIR] [--cache-dir DIR]
                            [--fault-plan FILE] [--connect-retries N]
@@ -25,6 +26,9 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro chaos [--quick] [--seed N] [--rounds N] [--run-dir DIR]
                           [--worker-faults] [--host-faults [--hosts N]]
     python -m repro journal merge SHARD [SHARD ...] --output DIR [--dry-run]
+    python -m repro spans summarize RUN_DIR
+    python -m repro spans export RUN_DIR [--format chrome] --output FILE
+    python -m repro top RUN_DIR [--once] [--interval S]
     python -m repro trace BENCHMARK [--machine single|dual|dual-local]
                           [--window A B] [--jsonl FILE]
     python -m repro stats BENCHMARK [--machine ...] [--json FILE] [--prom FILE]
@@ -101,6 +105,24 @@ def _make_journal(args: argparse.Namespace):
     )
 
 
+def _make_spans(args: argparse.Namespace):
+    """The span writer requested by --spans / --spans-dir (or None).
+
+    ``--spans-dir DIR`` names the sink directory explicitly; bare
+    ``--spans`` writes next to the journal (``--resume DIR``) or into
+    the current directory.  ``--shard NAME`` shards the span file the
+    same way it shards the journal.
+    """
+    spans_dir = getattr(args, "spans_dir", None)
+    if spans_dir is None and getattr(args, "spans", False):
+        spans_dir = getattr(args, "resume", None) or "."
+    if spans_dir is None:
+        return None
+    from repro.obs.spans import SpanWriter
+
+    return SpanWriter(spans_dir, shard=getattr(args, "shard", None))
+
+
 def _evaluation_options(args: argparse.Namespace):
     from repro.experiments.harness import EvaluationOptions
 
@@ -119,6 +141,7 @@ def _evaluation_options(args: argparse.Namespace):
         dist_port=getattr(args, "dist_port", 0),
         dist_min_hosts=getattr(args, "dist_min_hosts", 1),
         dist_wait_s=getattr(args, "dist_wait", 10.0),
+        spans=_make_spans(args),
     )
 
 
@@ -137,7 +160,13 @@ def _cmd_table2(args: argparse.Namespace) -> None:
     finally:
         if journal is not None:
             journal.close()
+        if options.spans is not None:
+            options.spans.close()
     print(format_table2(result, detailed=args.detailed))
+    if options.spans is not None:
+        log.info(
+            "spans: %d emitted -> %s", options.spans.emitted, options.spans.path
+        )
     _report_cache(options)
     if result.failures:
         log.warning(
@@ -234,6 +263,7 @@ def _cmd_explore(args: argparse.Namespace) -> None:
     space = DesignSpace(max_clusters=args.max_clusters)
     cache = _make_cache(args)
     journal = _make_journal(args)
+    spans = _make_spans(args)
     try:
         result = run_search(
             spec,
@@ -242,10 +272,15 @@ def _cmd_explore(args: argparse.Namespace) -> None:
             jobs=getattr(args, "jobs", 1),
             cache=cache,
             journal=journal,
+            spans=spans,
         )
     finally:
         if journal is not None:
             journal.close()
+        if spans is not None:
+            spans.close()
+    if spans is not None:
+        log.info("spans: %d emitted -> %s", spans.emitted, spans.path)
     if args.trajectory:
         records = [header_record(spec.driver, spec.seed, settings, result.baseline)]
         records.extend(trial_record(i, g, t) for i, g, t in result.trials)
@@ -518,6 +553,24 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_span_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spans",
+        action="store_true",
+        help="emit orchestration spans (sweep/task/compile/tracegen/"
+        "simulate + executor dispatch) as spans.jsonl next to the "
+        "journal; deterministic spans are bit-identical across serial, "
+        "--jobs, --resume, and distributed runs",
+    )
+    parser.add_argument(
+        "--spans-dir",
+        default=None,
+        metavar="DIR",
+        help="span sink directory (implies --spans; default: the "
+        "--resume directory, else the current directory)",
+    )
+
+
 def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--self-check",
@@ -567,6 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_robustness_flags(t2)
     _add_perf_flags(t2)
     _add_resilience_flags(t2)
+    _add_span_flags(t2)
     t2.set_defaults(func=_cmd_table2)
 
     sc = sub.add_parser("scenarios", help="Figures 2-5 execution timelines")
@@ -712,6 +766,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_robustness_flags(ex)
     _add_perf_flags(ex)
     _add_resilience_flags(ex)
+    _add_span_flags(ex)
     ex.set_defaults(func=_cmd_explore)
 
     rp = sub.add_parser("report", help="regenerate everything into REPORT.md")
@@ -896,6 +951,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jm.set_defaults(func=_cmd_journal_merge)
 
+    sp = sub.add_parser(
+        "spans",
+        help="analyze and export orchestration spans from a run directory",
+    )
+    sp_sub = sp.add_subparsers(dest="spans_command", required=True)
+    ss = sp_sub.add_parser(
+        "summarize",
+        help="per-kind totals and the virtual-timeline critical path",
+    )
+    ss.add_argument(
+        "run_dir",
+        metavar="RUN_DIR",
+        help="run directory holding spans.jsonl / spans-*.jsonl",
+    )
+    ss.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of the human table",
+    )
+    ss.set_defaults(func=_cmd_spans_summarize)
+    se = sp_sub.add_parser(
+        "export",
+        help="export spans as Chrome trace-event JSON (load in Perfetto "
+        "or chrome://tracing)",
+    )
+    se.add_argument("run_dir", metavar="RUN_DIR")
+    se.add_argument(
+        "--format",
+        choices=["chrome"],
+        default="chrome",
+        help="export format (trace-event JSON)",
+    )
+    se.add_argument(
+        "--output",
+        required=True,
+        metavar="FILE",
+        help="output file (open with https://ui.perfetto.dev)",
+    )
+    se.set_defaults(func=_cmd_spans_export)
+
+    tp = sub.add_parser(
+        "top",
+        help="live terminal view of a sweep's run directory: per-shard "
+        "progress, host leases, cache health, degradation events",
+    )
+    tp.add_argument("run_dir", metavar="RUN_DIR")
+    tp.add_argument(
+        "--once",
+        action="store_true",
+        help="render one snapshot and exit (scripts/CI)",
+    )
+    tp.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between refreshes",
+    )
+    tp.set_defaults(func=_cmd_top)
+
     tr = sub.add_parser(
         "trace",
         help="pipeline chart of one benchmark window (flight recorder)",
@@ -976,7 +1091,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     # -v/--quiet on every (nested) subcommand so the flags work on
     # either side of the command words.
-    for command_parser in set(sub.choices.values()) | {jm, ws}:
+    for command_parser in set(sub.choices.values()) | {jm, ws, ss, se}:
         _add_logging_flags(command_parser, suppress=True)
     return parser
 
@@ -1037,6 +1152,71 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
     if args.run_dir:
         log.info("health report: %s/health.json", args.run_dir)
     raise SystemExit(report.exit_code)
+
+
+def _cmd_spans_summarize(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.errors import ConfigError
+    from repro.obs.spans import (
+        critical_path,
+        format_span_summary,
+        load_run_spans,
+        split_spans,
+        summarize_spans,
+    )
+
+    spans = load_run_spans(args.run_dir)
+    if not spans:
+        raise ConfigError(
+            f"no span files in {args.run_dir!r}; run a sweep with --spans",
+            run_dir=str(args.run_dir),
+        )
+    if args.json:
+        det, wall = split_spans(spans)
+        print(
+            json.dumps(
+                {
+                    "deterministic": len(det),
+                    "wall": len(wall),
+                    "kinds": summarize_spans(det),
+                    "critical_path": critical_path(det),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(format_span_summary(spans))
+
+
+def _cmd_spans_export(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.errors import ConfigError
+    from repro.obs.spans import chrome_trace, load_run_spans, validate_chrome_trace
+
+    spans = load_run_spans(args.run_dir)
+    if not spans:
+        raise ConfigError(
+            f"no span files in {args.run_dir!r}; run a sweep with --spans",
+            run_dir=str(args.run_dir),
+        )
+    document = chrome_trace(spans)
+    validate_chrome_trace(document)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"wrote {args.output} ({len(document['traceEvents'])} events from "
+        f"{len(spans)} spans; open with https://ui.perfetto.dev)"
+    )
+
+
+def _cmd_top(args: argparse.Namespace) -> None:
+    from repro.obs.top import run_top
+
+    run_top(args.run_dir, once=args.once, interval_s=args.interval)
 
 
 def _cmd_journal_merge(args: argparse.Namespace) -> None:

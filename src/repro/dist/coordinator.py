@@ -67,6 +67,7 @@ from repro.dist.protocol import (
 from repro.errors import ConfigError
 from repro.obs.heartbeat import TaskLiveness
 from repro.obs.metrics import MetricsRegistry, dist_metrics
+from repro.obs.spans import WallSpans
 from repro.perf.executor import (
     MIN_TASK_TIMEOUT,
     ExecutorDegradation,
@@ -177,6 +178,7 @@ class DistributedExecutor(SweepExecutor):
         metrics: Optional[MetricsRegistry] = None,
         clock: Callable[[], float] = time.monotonic,
         poll_tick: float = 0.05,
+        spans=None,
     ) -> None:
         if task_timeout <= 0:
             raise ConfigError(
@@ -227,6 +229,8 @@ class DistributedExecutor(SweepExecutor):
         self.metrics = metrics if metrics is not None else dist_metrics()
         self._clock = clock
         self._tick = poll_tick
+        self._spans = spans
+        self._wall = WallSpans(spans, clock=clock)
 
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -439,6 +443,9 @@ class DistributedExecutor(SweepExecutor):
                 return
             self._idle.append(lease.host_id)
             self._host_liveness.start(lease.host_id, self.lease_timeout)
+            self._wall.begin(
+                ("host", lease.host_id), "host_lease", lease.name, pid=lease.pid
+            )
             self.metrics.counter("dist_hosts_registered").inc()
             self.metrics.counter(
                 "dist_host_tasks_completed", host=lease.name
@@ -474,6 +481,9 @@ class DistributedExecutor(SweepExecutor):
     def _handle_result(self, lease: HostLease, payload: dict) -> None:
         ticket = payload.get("ticket")
         self._task_liveness.finish(ticket)
+        self._wall.end(
+            ("ticket", ticket), ok=bool(payload.get("ok", False)), host=lease.label
+        )
         if lease.busy_ticket == ticket:
             lease.busy_ticket = None
             if lease.host_id in self._hosts:
@@ -554,9 +564,16 @@ class DistributedExecutor(SweepExecutor):
         self.host_losses += 1
         self.metrics.counter("dist_host_losses").inc()
         self.metrics.counter("dist_host_losses", host=lease.label).inc()
+        self._wall.end(
+            ("host", lease.host_id),
+            ok=False,
+            reason=reason,
+            tasks_completed=lease.tasks_completed,
+        )
         log.warning("lost host %s: %s", lease.label, reason)
         if ticket is not None:
             self._task_liveness.finish(ticket)
+            self._wall.end(("ticket", ticket), ok=False, reason=reason)
             token = self._tickets.get(ticket)
             if token is not None and token in self._open:
                 self._requeue(token, reason)
@@ -639,19 +656,23 @@ class DistributedExecutor(SweepExecutor):
             dispatch = self._dispatches[token]
             self._tickets[ticket] = token
             self._dispatches[token] = dispatch + 1
-            frame = encode_frame(
-                "task",
-                {
-                    "ticket": ticket,
-                    "benchmark": task.benchmark,
-                    "part": task.part,
-                    "payload": task.payload(),
-                    "dispatch": dispatch,
-                    "fn": self._task_fn_spec,
-                    "key": task_row_key(task),
-                    "fingerprint": task_fingerprint(task),
-                },
-            )
+            body = {
+                "ticket": ticket,
+                "benchmark": task.benchmark,
+                "part": task.part,
+                "payload": task.payload(),
+                "dispatch": dispatch,
+                "fn": self._task_fn_spec,
+                "key": task_row_key(task),
+                "fingerprint": task_fingerprint(task),
+            }
+            if self._spans is not None and self._spans.trace_id:
+                # Workers journal their own span shards: the frame
+                # carries the trace id plus a module:qualname builder
+                # reference (same discipline as ``fn`` — never pickle).
+                body["trace_id"] = self._spans.trace_id
+                body["span_fn"] = "repro.obs.spans:sweep_task_value_spans"
+            frame = encode_frame("task", body)
             if not self._send(lease, frame):
                 # _lose_host already requeued nothing (task not yet
                 # leased to it); put the token back for another host.
@@ -663,6 +684,13 @@ class DistributedExecutor(SweepExecutor):
                 continue
             lease.busy_ticket = ticket
             self._task_liveness.start(ticket, self.task_timeout)
+            self._wall.begin(
+                ("ticket", ticket),
+                "dispatch",
+                token,
+                host=lease.label,
+                dispatch=dispatch,
+            )
             self._renew_lease(lease)
             self.metrics.counter("dist_dispatches").inc()
         self._pending.extend(waiting)
@@ -680,6 +708,7 @@ class DistributedExecutor(SweepExecutor):
             return
         self.redispatches += 1
         self.metrics.counter("dist_redispatches").inc()
+        self._wall.instant("requeue", token, reason=reason)
         delay = 0.0
         schedule = self._policy.schedule(token)
         if schedule:
@@ -709,6 +738,9 @@ class DistributedExecutor(SweepExecutor):
         if self.degradation is None:
             self.degradation = event
         self.metrics.counter("dist_degradations").inc()
+        self._wall.instant(
+            "degradation", "distributed", detail=detail, remaining=remaining
+        )
         log.warning("distributed executor degrading (%s): %s", reason, detail)
         self._shutdown_network()
         self._pending.clear()
@@ -720,6 +752,7 @@ class DistributedExecutor(SweepExecutor):
                 task_timeout=self.task_timeout,
                 redispatch_budget=self.redispatch_budget,
                 redispatch_policy=self._policy,
+                spans=self._spans,
             )
             for task in self._open.values():
                 self._inner.submit(task)
@@ -762,6 +795,7 @@ class DistributedExecutor(SweepExecutor):
 
     # ------------------------------------------------------------- teardown
     def _shutdown_network(self) -> None:
+        self._wall.close(reason="shutdown")
         goodbye = encode_frame("shutdown", {})
         for lease in list(self._hosts.values()):
             if lease.registered:

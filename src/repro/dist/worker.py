@@ -117,6 +117,7 @@ class WorkerReport:
     tasks_failed: int = 0
     heartbeats_sent: int = 0
     rows_journaled: int = 0
+    spans_journaled: int = 0
     #: Why the loop ended: "shutdown" (coordinator said so),
     #: "disconnected" (coordinator vanished), "partitioned" (an injected
     #: host_partition dropped the socket).
@@ -164,6 +165,7 @@ class WorkerDaemon:
         self.connect_retries = max(0, connect_retries)
         self._sock: Optional[socket.socket] = None
         self._fns: dict = {}
+        self._span_writer = None
 
     # ----------------------------------------------------------- lifecycle
     def _connect(self) -> socket.socket:
@@ -224,6 +226,9 @@ class WorkerDaemon:
             report.elapsed_s = time.monotonic() - started
             if journal is not None:
                 journal.close()
+            if self._span_writer is not None:
+                self._span_writer.close()
+                self._span_writer = None
             try:
                 sock.close()
             except OSError:  # pragma: no cover - already dead
@@ -311,6 +316,7 @@ class WorkerDaemon:
                     elapsed_s=elapsed,
                 )
                 report.rows_journaled += 1
+            self._journal_spans(data, value, report)
         if fault == "host_partition":
             # Healthy host, dead network: the work is done — and durable
             # on this shard — but the result never crosses the wire.
@@ -337,6 +343,34 @@ class WorkerDaemon:
             fn = resolve_task_fn(spec)
             self._fns[spec] = fn
         return fn
+
+    def _journal_spans(self, data: dict, value, report: WorkerReport) -> None:
+        """Journal this task's deterministic spans into our shard.
+
+        The frame's ``span_fn`` (``module:qualname``, same discipline as
+        ``fn``) rebuilds the spans from the task value; content-derived
+        span ids make the records identical to the driver's own, so the
+        merge dedupes them.  Durable host-side before the result is sent,
+        like journal rows — span tracing must never fail a task.
+        """
+        trace_id = data.get("trace_id")
+        span_fn_spec = data.get("span_fn")
+        if not trace_id or not span_fn_spec or self.run_dir is None:
+            return
+        try:
+            if self._span_writer is None:
+                from repro.obs.spans import SpanWriter
+
+                self._span_writer = SpanWriter(self.run_dir, shard=self.host)
+                self._span_writer.trace_id = trace_id
+            span_fn = self._task_fn(span_fn_spec)
+            report.spans_journaled += self._span_writer.write_all(
+                span_fn(trace_id, value)
+            )
+        except Exception as error:  # noqa: BLE001 - observability only
+            log.warning(
+                "worker %s could not journal spans: %s", self.host, error
+            )
 
 
 def serve_worker(

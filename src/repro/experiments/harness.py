@@ -30,7 +30,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import SpanWriter
 
 from repro.compiler.pipeline import CompilationResult, CompilerOptions, compile_program
 from repro.core.partition.base import Partitioner
@@ -206,6 +209,12 @@ class EvaluationOptions:
     dist_port: int = 0
     dist_min_hosts: int = 1
     dist_wait_s: float = 10.0
+    #: Orchestration span sink (``repro.obs.spans.SpanWriter``) for the
+    #: sweep drivers; ``None`` disables span tracing.  Observational
+    #: like heartbeats — excluded from ``options_fingerprint`` and
+    #: stripped from the options shipped into workers (it holds an open
+    #: file; workers journal their own span shards instead).
+    spans: Optional["SpanWriter"] = None
 
     def apply_robustness(self, config: ProcessorConfig) -> ProcessorConfig:
         """Thread the self-check / cycle-budget / engine knobs into a config."""

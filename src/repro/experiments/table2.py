@@ -164,6 +164,26 @@ def run_table2(
 
         journal = RunJournal(journal)
 
+    # Span tracing: one content-derived trace id covers the serial,
+    # parallel, resumed, and distributed forms of this exact sweep.
+    spans = options.spans
+    if spans is not None:
+        from repro.obs.spans import sweep_trace_id
+
+        spans.trace_id = sweep_trace_id("table2", options, names)
+
+    def emit_row_spans(name: str, outcome, attempts: int) -> None:
+        if spans is None:
+            return
+        from repro.obs.spans import evaluation_spans, failure_spans
+
+        if isinstance(outcome, BenchmarkFailure):
+            spans.write_all(failure_spans(spans.trace_id, outcome, attempts=attempts))
+        else:
+            spans.write_all(
+                evaluation_spans(spans.trace_id, outcome, attempts=attempts)
+            )
+
     fingerprint = ""
     evaluations: dict[str, BenchmarkEvaluation] = {}
     failures_by_name: dict[str, BenchmarkFailure] = {}
@@ -174,18 +194,21 @@ def run_table2(
         fingerprint = options_fingerprint(options)
         pending = []
         for name in names:
-            reused = journal.load_artifact(
-                journal.completed(f"table2:{name}", fingerprint)
-            )
+            entry = journal.completed(f"table2:{name}", fingerprint)
+            reused = journal.load_artifact(entry)
             if isinstance(reused, BenchmarkEvaluation):
                 evaluations[name] = reused
+                # Reused rows re-emit their (content-derived) spans so a
+                # resumed run's span set matches an uninterrupted one.
+                emit_row_spans(name, reused, entry.attempts)
             else:
                 pending.append(name)
 
     # Bundles and journal records describe the self-contained serial
     # run shape, whichever path computed the row.
     sealed_options = replace(
-        options, jobs=1, cache=None, executor="pool", worker_fault_plan=None
+        options, jobs=1, cache=None, executor="pool", worker_fault_plan=None,
+        spans=None,
     )
 
     # Parallel sweeps report progress (rows done, ETA, cache hit rate,
@@ -200,6 +223,7 @@ def run_table2(
             interval_s=options.heartbeat_interval,
             journal=journal,
             cache=options.cache,
+            spans=spans,
         )
 
     def record(name: str, outcome, attempts: int, elapsed_s: float = 0.0) -> None:
@@ -219,6 +243,7 @@ def run_table2(
                     attempts=attempts,
                     elapsed_s=elapsed_s,
                 )
+        emit_row_spans(name, outcome, attempts)
         if heartbeat is not None:
             heartbeat.note(name)
 
@@ -261,6 +286,20 @@ def run_table2(
                 attempts,
                 time.perf_counter() - row_start,
             )
+
+    if spans is not None:
+        from repro.obs.spans import evaluation_spans, sweep_span
+
+        # The root span's duration is the sweep's total virtual work —
+        # rebuilt from the evaluations so it is identical however (and
+        # in how many runs) the rows were computed.
+        task_spans = [
+            span
+            for name in names
+            if name in evaluations
+            for span in evaluation_spans(spans.trace_id, evaluations[name])
+        ]
+        spans.write(sweep_span(spans.trace_id, "table2", task_spans))
 
     rows = [_row_for(name, evaluations[name]) for name in names if name in evaluations]
     failures = [failures_by_name[n] for n in names if n in failures_by_name]

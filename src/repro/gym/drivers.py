@@ -142,12 +142,14 @@ class _Evaluator:
         journal: Optional[RunJournal],
         jobs: int = 1,
         metrics: Optional[MetricsRegistry] = None,
+        spans=None,
     ) -> None:
         self.settings = settings
         self.cache = cache if cache is not None else ArtifactCache()
         self.journal = journal
         self.jobs = jobs
         self.metrics = metrics or MetricsRegistry()
+        self.spans = spans
         self.trials: list[tuple[int, int, TrialResult]] = []
         self.journal_hits = 0
         self._index = 0
@@ -220,7 +222,69 @@ class _Evaluator:
             self._index += 1
             out.append(trial)
         self._record_generation(generation, out)
+        self._emit_spans(generation, settings, out)
         return out
+
+    def _emit_spans(
+        self, generation: int, settings: GymSettings, trials: list[TrialResult]
+    ) -> None:
+        """Journal this batch's deterministic spans (DESIGN.md Section 17).
+
+        One ``gym_rung`` span per generation/rung plus a ``gym_trial``
+        child per design point, all measured in simulated cycles — a
+        content-derived virtual time that replays identically from the
+        journal, so a ``--resume``\\ d search emits the same span set as
+        an uninterrupted one.
+        """
+        if self.spans is None or not trials:
+            return
+        from repro.obs.spans import Span, derive_span_id
+
+        trace_id = self.spans.trace_id
+        rung_name = f"gen-{generation}"
+        costs = [sum(int(c) for c in t.cycles.values()) for t in trials]
+        rung_id = derive_span_id(
+            trace_id, "gym_rung", rung_name, settings.trace_length, sum(costs)
+        )
+        spans = [
+            Span(
+                trace_id=trace_id,
+                span_id=rung_id,
+                parent_id=None,
+                kind="gym_rung",
+                name=rung_name,
+                start_u=0,
+                end_u=sum(costs),
+                attrs={
+                    "generation": generation,
+                    "trace_length": settings.trace_length,
+                    "trials": len(trials),
+                },
+            )
+        ]
+        for trial, cost in zip(trials, costs):
+            spans.append(
+                Span(
+                    trace_id=trace_id,
+                    span_id=derive_span_id(
+                        trace_id,
+                        "gym_trial",
+                        trial.point.slug,
+                        settings.trace_length,
+                        cost,
+                    ),
+                    parent_id=rung_id,
+                    kind="gym_trial",
+                    name=trial.point.slug,
+                    start_u=0,
+                    end_u=cost,
+                    attrs={
+                        "generation": generation,
+                        "trace_length": settings.trace_length,
+                    },
+                )
+            )
+        self.spans.write_all(spans)
 
     def _record_generation(self, generation: int, trials: list[TrialResult]) -> None:
         if not trials:
@@ -346,6 +410,7 @@ def run_search(
     cache: Optional[ArtifactCache] = None,
     journal: Optional[RunJournal] = None,
     metrics: Optional[MetricsRegistry] = None,
+    spans=None,
 ) -> SearchResult:
     """Run one seeded search end to end.
 
@@ -356,8 +421,14 @@ def run_search(
     space = space or DesignSpace()
     settings = settings or GymSettings()
     cache = cache if cache is not None else ArtifactCache()
+    if spans is not None:
+        from repro.perf.fingerprint import fingerprint
 
-    evaluator = _Evaluator(settings, cache, journal, jobs, metrics)
+        spans.trace_id = fingerprint(
+            ("gym-trace/v1", fingerprint(spec), settings.settings_fingerprint)
+        )[:16]
+
+    evaluator = _Evaluator(settings, cache, journal, jobs, metrics, spans)
     baseline = evaluator.baseline_for(settings)
     if spec.driver == "random":
         series = _run_random(spec, space, evaluator)

@@ -11,6 +11,9 @@ Four cooperating parts (see DESIGN.md Section 12):
 * :mod:`repro.obs.export` — schema-validated JSON and Prometheus text;
 * :mod:`repro.obs.heartbeat` — progress lines + journal records for
   long sweeps;
+* :mod:`repro.obs.spans` — orchestration span tracing (correlated
+  sweep -> task -> compile/tracegen/simulate records, Perfetto export);
+* :mod:`repro.obs.top` — the ``repro top`` live run-directory view;
 * :mod:`repro.obs.runner` — one-benchmark observed runs (``repro
   trace`` / ``repro stats``).
 
@@ -27,6 +30,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     PipelineMetrics,
 )
+from repro.obs.spans import Span, SpanWriter, WallSpans
 from repro.obs.stall import CAUSES, StallAccounting, check_identity, diff_reports
 from repro.obs.trace import (
     EVENT_KINDS,
@@ -52,7 +56,10 @@ __all__ = [
     "PipelineEvent",
     "PipelineMetrics",
     "RingSink",
+    "Span",
+    "SpanWriter",
     "StallAccounting",
+    "WallSpans",
     "TraceRecorder",
     "check_identity",
     "diff_reports",

@@ -171,8 +171,22 @@ def _format_value(value) -> str:
     return str(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text-format spec: backslash, double
+    quote, and line feed must be escaped or a host name like
+    ``node"1`` corrupts every series after it."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _labelled(name: str, labels: dict[str, str], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    parts = [
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    ]
     if extra:
         parts.append(extra)
     return f"{name}{{{','.join(parts)}}}" if parts else name

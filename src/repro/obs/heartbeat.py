@@ -41,6 +41,7 @@ class Heartbeat:
         interval_s: Optional[float] = DEFAULT_INTERVAL_S,
         journal=None,
         cache=None,
+        spans=None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.total = total
@@ -48,6 +49,7 @@ class Heartbeat:
         self.interval_s = interval_s
         self.journal = journal
         self.cache = cache
+        self.spans = spans
         self.clock = clock
         self.done = 0
         self.emitted = 0
@@ -106,6 +108,10 @@ class Heartbeat:
         if self.cache is not None:
             stats = self.cache.stats
             payload["cache_hit_rate"] = round(stats.hit_rate, 6)
+        if self.spans is not None:
+            payload["spans_emitted"] = self.spans.emitted
+        # Journal lag is the monotonic age of the last durable append —
+        # like elapsed/ETA above, never a wall-clock delta.
         if self.journal is not None and self.journal.last_append is not None:
             payload["journal_lag_s"] = round(now - self.journal.last_append, 3)
         return payload
@@ -121,6 +127,8 @@ class Heartbeat:
             parts.append(f"eta {payload['eta_s']:.1f}s")
         if "cache_hit_rate" in payload:
             parts.append(f"cache {100 * payload['cache_hit_rate']:.1f}% hit")
+        if "spans_emitted" in payload:
+            parts.append(f"{payload['spans_emitted']} spans")
         if "journal_lag_s" in payload:
             parts.append(f"journal lag {payload['journal_lag_s']:.1f}s")
         return ", ".join(parts)

@@ -44,11 +44,17 @@ from repro.experiments.table2 import Table2Result, run_table2
 from repro.perf.cache import ArtifactCache
 from repro.perf.fingerprint import fingerprint
 from repro.perf.parallel import resolve_jobs
-from repro.robustness.atomicio import atomic_write_json
+from repro.robustness.atomicio import append_jsonl_line, atomic_write_json
 from repro.workloads.spec92 import DEFAULT_TRACE_LENGTH, SPEC92
 
 #: JSON schema version of BENCH_table2.json.
 SCHEMA_VERSION = 2
+
+#: JSON schema version of BENCH_history.jsonl records.
+HISTORY_SCHEMA = 1
+
+#: Trend file appended to (next to the report) on every bench run.
+HISTORY_FILE = "BENCH_history.jsonl"
 
 #: Trace length used by ``repro bench --quick`` (CI's perf-smoke job).
 QUICK_TRACE_LENGTH = 2_000
@@ -61,6 +67,37 @@ QUICK_TRACE_LENGTH = 2_000
 #: noise does not flake the perf-smoke gate, while still catching a real
 #: regression of the fused hot loop (see DESIGN.md §14).
 ENGINE_SPEEDUP_FLOOR = 1.5
+
+
+def history_record(report: "BenchReport") -> dict:
+    """One schema-versioned ``BENCH_history.jsonl`` record of a run.
+
+    A compact, stable projection of the report — enough for trend
+    plotting (timings, engine speedup, identity verdict, environment)
+    without the full per-row dump.
+    """
+    return {
+        "history_schema": HISTORY_SCHEMA,
+        "report_schema": SCHEMA_VERSION,
+        "timestamp": report.timestamp,
+        "python": report.python,
+        "cpu_count": report.cpu_count,
+        "benchmarks": list(report.benchmarks),
+        "trace_length": report.trace_length,
+        "jobs": report.jobs,
+        "timings_s": dict(report.timings_s),
+        "engine_timings_s": dict(report.engine_timings_s),
+        "engine_speedup": report.engine_speedup,
+        "identical": report.identical,
+        "divergences": len(report.divergences),
+    }
+
+
+def append_bench_history(path, report: "BenchReport") -> dict:
+    """Durably append one run's record to the history file; returns it."""
+    record = history_record(report)
+    append_jsonl_line(path, record)
+    return record
 
 
 @dataclass
@@ -368,6 +405,9 @@ def run_bench(
         # Atomic + fsync'd: a bench killed mid-write must never leave a
         # torn BENCH_table2.json for CI trend tooling to choke on.
         atomic_write_json(Path(output), report.as_dict(), sort_keys=False)
+        # Appended *before* the gates below can raise: a failing run is
+        # exactly the data point the trend history is for.
+        append_bench_history(Path(output).parent / HISTORY_FILE, report)
 
     if divergences:
         raise SimulationError(

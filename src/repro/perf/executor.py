@@ -72,6 +72,7 @@ from typing import Any, Callable, Optional
 from repro.errors import ConfigError
 from repro.obs.heartbeat import TaskLiveness
 from repro.obs.metrics import MetricsRegistry, executor_metrics
+from repro.obs.spans import WallSpans
 from repro.perf.cache import ArtifactCache
 from repro.robustness.retry import RetryPolicy
 
@@ -302,14 +303,18 @@ class PoolSweepExecutor(SweepExecutor):
         task_fn: Callable[[tuple], Any],
         jobs: int,
         cache_dir=None,
+        *,
+        spans=None,
     ) -> None:
         self._task_fn = task_fn
         self._pool = _pool(jobs, cache_dir)
         self._futures: dict[Any, SweepTask] = {}
+        self._wall = WallSpans(spans)
 
     def submit(self, task: SweepTask) -> None:
         future = self._pool.submit(self._task_fn, task.payload())
         self._futures[future] = task
+        self._wall.begin(future, "dispatch", task.token)
 
     @property
     def outstanding(self) -> int:
@@ -325,17 +330,20 @@ class PoolSweepExecutor(SweepExecutor):
         for future in done:
             task = self._futures.pop(future)
             results.append(TaskResult(task=task, value=future.result()))
+            self._wall.end(future, ok=True)
         return results
 
     def cancel(self) -> int:
         cancelled = sum(1 for future in self._futures if future.cancel())
         self._pool.shutdown(wait=True, cancel_futures=True)
         self._futures.clear()
+        self._wall.close(ok=False, reason="cancelled")
         return cancelled
 
     def close(self) -> None:
         self._pool.shutdown(wait=True, cancel_futures=True)
         self._futures.clear()
+        self._wall.close(ok=False, reason="closed")
 
 
 # ------------------------------------------------------- supervised worker
@@ -397,6 +405,7 @@ class SupervisedPoolExecutor(SweepExecutor):
         metrics: Optional[MetricsRegistry] = None,
         clock: Callable[[], float] = time.monotonic,
         poll_tick: float = 0.05,
+        spans=None,
     ) -> None:
         if task_timeout <= 0:
             raise ConfigError(
@@ -442,6 +451,7 @@ class SupervisedPoolExecutor(SweepExecutor):
         self._ticket_seq = itertools.count(1)
         self._worker_seq = itertools.count(1)
         self._liveness = TaskLiveness(clock=clock)  # keyed by ticket
+        self._wall = WallSpans(spans, clock=clock)
         self.worker_deaths = 0
         self.redispatches = 0
         self._closed = False
@@ -486,6 +496,7 @@ class SupervisedPoolExecutor(SweepExecutor):
         ticket = self._busy.pop(worker_id, None)
         if ticket is not None:
             self._liveness.finish(ticket)
+            self._wall.end(ticket, ok=False, reason=reason)
             token = self._tickets.get(ticket)
             if token is not None and token in self._open:
                 self._requeue(token, reason)
@@ -571,6 +582,7 @@ class SupervisedPoolExecutor(SweepExecutor):
         self._open.clear()
         self._pending.clear()
         self._shutdown_workers(kill=True)
+        self._wall.close(ok=False, reason="cancelled")
         return cancelled
 
     def close(self) -> None:
@@ -578,6 +590,7 @@ class SupervisedPoolExecutor(SweepExecutor):
             return
         self._closed = True
         self._shutdown_workers(kill=False)
+        self._wall.close(ok=False, reason="closed")
         self._results.close()
         self._results.cancel_join_thread()
 
@@ -603,12 +616,16 @@ class SupervisedPoolExecutor(SweepExecutor):
                 (ticket, task.benchmark, task.part, task.payload(), dispatch)
             )
             self._liveness.start(ticket, self.task_timeout)
+            self._wall.begin(
+                ticket, "dispatch", token, worker=worker_id, dispatch=dispatch
+            )
             self.metrics.counter("executor_dispatches").inc()
         self._pending.extend(waiting)
 
     def _accept(self, item) -> Optional[TaskResult]:
         ticket, worker_id, value = item
         self._liveness.finish(ticket)
+        self._wall.end(ticket, ok=True)
         if self._busy.get(worker_id) == ticket:
             del self._busy[worker_id]
             if worker_id in self._workers:
@@ -662,6 +679,7 @@ class SupervisedPoolExecutor(SweepExecutor):
             return
         self.redispatches += 1
         self.metrics.counter("executor_redispatches").inc()
+        self._wall.instant("requeue", token, reason=reason)
         delay = 0.0
         schedule = self._policy.schedule(token)
         if schedule:
@@ -679,6 +697,9 @@ class SupervisedPoolExecutor(SweepExecutor):
             remaining_tasks=remaining,
         )
         self.metrics.counter("executor_degradations").inc()
+        self._wall.instant(
+            "degradation", "supervised", detail=detail, remaining=remaining
+        )
         log.warning(
             "supervised pool degrading to serial execution: %s", detail
         )
@@ -735,6 +756,7 @@ def make_sweep_executor(
     dist_port: int = 0,
     dist_min_hosts: int = 1,
     dist_wait_s: float = 10.0,
+    spans=None,
 ) -> SweepExecutor:
     """Build the executor requested by ``EvaluationOptions.executor``.
 
@@ -761,7 +783,7 @@ def make_sweep_executor(
         seed=seed,
     )
     if kind == "pool":
-        return PoolSweepExecutor(task_fn, jobs, cache_dir)
+        return PoolSweepExecutor(task_fn, jobs, cache_dir, spans=spans)
     if kind == "supervised":
         return SupervisedPoolExecutor(
             task_fn,
@@ -771,6 +793,7 @@ def make_sweep_executor(
             redispatch_budget=redispatch_budget,
             redispatch_policy=policy,
             worker_fault_plan=worker_fault_plan,
+            spans=spans,
         )
     if kind == "distributed":
         from repro.dist.coordinator import DistributedExecutor
@@ -786,6 +809,7 @@ def make_sweep_executor(
             redispatch_policy=policy,
             min_hosts=dist_min_hosts,
             wait_for_hosts_s=dist_wait_s,
+            spans=spans,
         )
     raise ConfigError(
         f"unknown sweep executor {kind!r}; valid: {EXECUTOR_KINDS}",

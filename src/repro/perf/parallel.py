@@ -234,9 +234,13 @@ def run_table2_parallel(
     cache = options.cache
     cache_dir = cache.cache_dir if cache is not None else None
     # Workers get a self-contained serial option set; the parent-side
-    # cache object is not shipped (each worker holds its own tier), and
-    # worker-fault injection must not recurse into the task itself.
-    worker_options = replace(options, jobs=1, cache=None, worker_fault_plan=None)
+    # cache object is not shipped (each worker holds its own tier),
+    # worker-fault injection must not recurse into the task itself, and
+    # the span writer's open file stays in the parent (distributed
+    # workers journal their own span shards via the task frame).
+    worker_options = replace(
+        options, jobs=1, cache=None, worker_fault_plan=None, spans=None
+    )
     tasks = [
         SweepTask(benchmark=name, part=part, options=worker_options)
         for name in names
@@ -277,6 +281,7 @@ def run_table2_parallel(
         dist_port=options.dist_port,
         dist_min_hosts=options.dist_min_hosts,
         dist_wait_s=options.dist_wait_s,
+        spans=options.spans,
     )
     with executor, sweep_signals():
         try:
@@ -298,6 +303,16 @@ def run_table2_parallel(
         # once (remote -> supervised -> serial); journal every step.
         for degradation in executor.degradations:
             on_event("executor_degradation", degradation.as_dict())
+    registry = getattr(executor, "metrics", None)
+    if options.spans is not None and registry is not None:
+        # Final executor metrics — including the distributed
+        # coordinator's per-host labeled series — land next to the span
+        # files, in the Prometheus text format 'repro stats' also speaks.
+        from repro.obs.export import write_prometheus
+
+        write_prometheus(
+            options.spans.run_dir / "executor-metrics.prom", registry
+        )
 
     failures = [failures_by_name[n] for n in names if n in failures_by_name]
     return evaluations, failures

@@ -69,7 +69,26 @@ def atomic_write_json(
     )
 
 
+def append_jsonl_line(path: PathLike, obj: Any) -> None:
+    """Durably append one JSON object as a line to ``path``.
+
+    The append-side sibling of the write-replace helpers above, for
+    history files that grow one record per run (``BENCH_history.jsonl``,
+    span sinks): open in append mode, write the full line, flush,
+    ``fsync``.  A crash mid-append leaves at most one torn trailing line,
+    which every JSONL reader in this repo already tolerates.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(obj, sort_keys=True) + "\n"
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
 __all__ = [
+    "append_jsonl_line",
     "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_text",

@@ -417,6 +417,8 @@ class MergeReport:
     events_kept: int = 0
     artifacts_copied: int = 0
     artifacts_missing: int = 0
+    spans_merged: int = 0
+    wall_spans_kept: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -433,6 +435,11 @@ class MergeReport:
             f"  artifacts:  {self.artifacts_copied} copied, "
             f"{self.artifacts_missing} missing (rows recompute on resume)",
         ]
+        if self.spans_merged or self.wall_spans_kept:
+            lines.append(
+                f"  spans:      {self.spans_merged} deterministic merged, "
+                f"{self.wall_spans_kept} wall-clock kept"
+            )
         return "\n".join(lines)
 
 
@@ -535,6 +542,7 @@ def merge_journals(
                     report.artifacts_missing += 1
             report.rows_merged += 1
         report.events_kept = len(events)
+        _merge_spans(shards, output_dir, report, dry_run=True)
         return report
 
     with RunJournal(output_dir) as merged:
@@ -558,7 +566,47 @@ def merge_journals(
             merged._append_line(event)
             merged.events.append(event)
             report.events_kept += 1
+    _merge_spans(shards, output_dir, report, dry_run=False)
     return report
+
+
+def _merge_spans(
+    shards: Sequence[Union[str, os.PathLike]],
+    output_dir: Path,
+    report: MergeReport,
+    *,
+    dry_run: bool,
+) -> None:
+    """Fold per-shard span files into the canonical merged pair.
+
+    Span ids are content fingerprints, so like journal rows the fold is
+    a pure dedupe: the driver's spans and a worker shard's copies of the
+    same task collapse into one record.  Deterministic spans land in
+    ``spans.jsonl`` in canonical order (byte-identical across equivalent
+    runs); wall-clock spans are run history, kept in ``spans-wall.jsonl``.
+    """
+    from repro.obs.spans import (
+        dedupe_spans,
+        read_spans,
+        span_files,
+        split_spans,
+        write_canonical_spans,
+    )
+
+    spans = dedupe_spans(
+        span
+        for shard in shards
+        if Path(shard).is_dir()
+        for path in span_files(Path(shard))
+        for span in read_spans(path)
+    )
+    if not spans:
+        return
+    det, wall = split_spans(spans)
+    report.spans_merged = len(det)
+    report.wall_spans_kept = len(wall)
+    if not dry_run:
+        write_canonical_spans(output_dir, spans)
 
 
 def _merge_row(

@@ -277,3 +277,56 @@ class TestGridDriver:
         )
         with pytest.raises(ConfigError, match="grid is empty"):
             run_search(spec_for("grid"), barren, SETTINGS, cache=cache)
+
+
+class TestGymSpans:
+    def _spans(self, tmp_path, name, driver="random"):
+        from repro.obs.spans import SpanWriter, canonical_lines, split_spans
+
+        run_dir = tmp_path / name
+        with SpanWriter(run_dir) as writer:
+            run_search(
+                spec_for(driver), SPACE, SETTINGS,
+                cache=ArtifactCache(), spans=writer,
+            )
+            trace_id = writer.trace_id
+        from repro.obs.spans import load_run_spans
+
+        det, wall = split_spans(load_run_spans(run_dir))
+        return trace_id, det, wall, canonical_lines(det)
+
+    def test_rung_and_trial_spans_emitted(self, tmp_path):
+        trace_id, det, _, _ = self._spans(tmp_path, "a")
+        kinds = {s.kind for s in det}
+        assert kinds == {"gym_rung", "gym_trial"}
+        rungs = [s for s in det if s.kind == "gym_rung"]
+        trials = [s for s in det if s.kind == "gym_trial"]
+        assert rungs and trials
+        assert all(s.trace_id == trace_id for s in det)
+        rung_ids = {s.span_id for s in rungs}
+        assert all(s.parent_id in rung_ids for s in trials)
+        # Virtual time: a trial costs its simulated cycles, a rung the
+        # sum of its trials'.
+        by_rung = {}
+        for trial in trials:
+            by_rung.setdefault(trial.parent_id, 0)
+            by_rung[trial.parent_id] += trial.duration_u
+        for rung in rungs:
+            assert rung.duration_u == by_rung[rung.span_id]
+
+    def test_same_search_same_span_bytes(self, tmp_path):
+        _, _, _, first = self._spans(tmp_path, "a")
+        _, _, _, again = self._spans(tmp_path, "b")
+        assert first == again
+
+    def test_different_seed_different_trace(self, tmp_path):
+        trace_a, _, _, _ = self._spans(tmp_path, "a")
+        from repro.obs.spans import SpanWriter
+
+        run_dir = tmp_path / "c"
+        with SpanWriter(run_dir) as writer:
+            run_search(
+                replace(spec_for("random"), seed=7), SPACE, SETTINGS,
+                cache=ArtifactCache(), spans=writer,
+            )
+            assert writer.trace_id != trace_a

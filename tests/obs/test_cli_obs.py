@@ -99,3 +99,61 @@ class TestLoggingBehavior:
               "--machine", "single"])
         err = capsys.readouterr().err
         assert "repro.cli:" in err
+
+
+class TestSpansCommands:
+    @pytest.fixture(scope="class")
+    def spanned_run(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("spanned")
+        main(
+            [
+                "table2", "--benchmarks", "ora", "--trace-length", "1000",
+                "--jobs", "2", "--spans", "--resume", str(run_dir), "--quiet",
+            ]
+        )
+        return run_dir
+
+    def test_spans_flag_writes_the_sink(self, spanned_run):
+        lines = (spanned_run / "spans.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        # 1 benchmark x 3 parts x 4 spans + sweep root, plus wall-clock
+        # dispatch spans from the pool executor.
+        kinds = {r["kind"] for r in records}
+        assert {"sweep", "task", "compile", "tracegen", "simulate"} <= kinds
+        assert len([r for r in records if r["kind"] == "task"]) == 3
+
+    def test_summarize_renders_table_and_critical_path(self, spanned_run, capsys):
+        main(["spans", "summarize", str(spanned_run)])
+        out = capsys.readouterr().out
+        assert "deterministic" in out
+        assert "critical path: ora:" in out
+
+    def test_summarize_json(self, spanned_run, capsys):
+        main(["spans", "summarize", str(spanned_run), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kinds"]["task"]["count"] == 3
+        assert payload["critical_path"]["task"].startswith("ora:")
+
+    def test_export_writes_a_valid_chrome_trace(self, spanned_run, tmp_path):
+        from repro.obs.spans import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        main(["spans", "export", str(spanned_run), "--output", str(out)])
+        document = json.loads(out.read_text())
+        validate_chrome_trace(document)
+        assert any(e.get("ph") == "X" for e in document["traceEvents"])
+
+    def test_summarize_of_a_spanless_directory_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as info:
+            main(["spans", "summarize", str(tmp_path)])
+        assert info.value.code == 2
+
+    def test_spans_dir_routes_the_sink(self, tmp_path):
+        sink = tmp_path / "sink"
+        main(
+            [
+                "table2", "--benchmarks", "ora", "--trace-length", "1000",
+                "--spans-dir", str(sink), "--quiet",
+            ]
+        )
+        assert (sink / "spans.jsonl").exists()

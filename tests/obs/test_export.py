@@ -104,3 +104,35 @@ class TestPrometheus:
         text = path.read_text()
         assert f"repro_cycles_total {run.stats.cycles}" in text
         assert 'repro_queue_occupancy{cluster="1"}' in text
+
+
+class TestLabelEscaping:
+    def test_hostile_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "dist_host_tasks_completed", "per-host tasks", host='node"1'
+        ).inc(7)
+        reg.gauge("dist_hosts_active", "hosts", zone="a\\b\nc").set(2)
+        text = prometheus_text(reg)
+        assert 'dist_host_tasks_completed{host="node\\"1"} 7' in text
+        assert 'dist_hosts_active{zone="a\\\\b\\nc"} 2' in text
+        # The raw newline in the zone label never splits a sample line:
+        # every line is either a comment or ends in a numeric value.
+        for line in text.splitlines():
+            assert line.startswith("#") or line.rsplit(" ", 1)[1].isdigit()
+
+    def test_benign_values_unchanged(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "c", host="node-1").inc(1)
+        assert 'c_total{host="node-1"} 1' in prometheus_text(reg)
+
+    def test_distributed_registry_renders_per_host_series(self):
+        from repro.obs.metrics import dist_metrics
+
+        registry = dist_metrics()
+        registry.counter(
+            "dist_host_tasks_completed", "per-host tasks", host="h0"
+        ).inc(3)
+        text = prometheus_text(registry)
+        assert 'dist_host_tasks_completed{host="h0"} 3' in text
+        assert "# TYPE dist_tasks_completed counter" in text

@@ -213,3 +213,54 @@ class TestJournalIntegration:
             journal,
         )
         assert journal.heartbeats == []
+
+
+class TestSpanFields:
+    def test_spans_emitted_reported_and_formatted(self, tmp_path):
+        from repro.obs.spans import SpanWriter, part_task_spans
+
+        with SpanWriter(tmp_path) as writer:
+            writer.write_all(
+                part_task_spans(
+                    "t" * 16, "ora", "single",
+                    compile_units=1, trace_units=2, sim_units=3,
+                )
+            )
+            hb = Heartbeat(4, spans=writer, clock=FakeClock())
+            hb.done = 1
+            snap = hb.snapshot()
+            assert snap["spans_emitted"] == 4
+            assert "4 spans" in hb._format(snap)
+
+    def test_spanless_heartbeat_omits_the_field(self):
+        snap = Heartbeat(4, clock=FakeClock()).snapshot()
+        assert "spans_emitted" not in snap
+
+    def test_journaled_heartbeats_carry_span_counts(self, tmp_path):
+        from repro.experiments.harness import EvaluationOptions
+        from repro.experiments.table2 import run_table2
+        from repro.obs.spans import SpanWriter
+
+        journal = RunJournal(tmp_path)
+        writer = SpanWriter(tmp_path)
+        run_table2(
+            ["ora"],
+            EvaluationOptions(
+                trace_length=800, jobs=2, heartbeat_interval=0, spans=writer,
+            ),
+            journal,
+        )
+        writer.close()
+        assert journal.heartbeats
+        last = journal.heartbeats[-1]
+        assert last["spans_emitted"] >= 4
+
+    def test_eta_is_monotone_while_progress_stalls(self):
+        clock = FakeClock()
+        hb = Heartbeat(10, clock=clock)
+        clock.now += 10.0
+        hb.done = 5
+        first = hb.snapshot()["eta_s"]
+        clock.now += 20.0  # no new rows: rate drops, ETA must not shrink
+        second = hb.snapshot()["eta_s"]
+        assert second >= first

@@ -1,0 +1,162 @@
+"""The span identity contract (ISSUE 10 acceptance).
+
+Spans carry content-derived IDs and virtual work-unit times, so a Table
+2 sweep must leave the *same* canonical deterministic span set no matter
+how it was orchestrated: serially, across a thread pool, resumed after a
+kill mid-run, or sharded across two worker hosts and folded back with
+``repro journal merge``.  Each test here compares canonical merged
+``spans.jsonl`` files byte for byte against one serial reference.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments.harness import EvaluationOptions
+from repro.experiments.table2 import run_table2
+from repro.obs.spans import SpanWriter, load_run_spans, split_spans
+from repro.robustness.journal import RunJournal, merge_journals
+
+TL = 600
+BENCHMARKS = ["compress", "ora"]
+SRC_DIR = Path(repro.__file__).resolve().parent.parent
+
+
+def _options(**overrides):
+    return EvaluationOptions(trace_length=TL, **overrides)
+
+
+def _run(run_dir, shard=None, **overrides):
+    """One journaled, spanned table2 sweep into ``run_dir``."""
+    writer = SpanWriter(run_dir, shard=shard)
+    journal = RunJournal(run_dir, shard=shard)
+    try:
+        return run_table2(
+            BENCHMARKS, _options(spans=writer, **overrides), journal=journal
+        )
+    finally:
+        journal.close()
+        writer.close()
+
+
+def _merged_spans(run_dir, out_dir):
+    merge_journals([run_dir], out_dir)
+    return (Path(out_dir) / "spans.jsonl").read_bytes()
+
+
+@pytest.fixture(scope="module")
+def serial_reference(tmp_path_factory):
+    """Canonical merged span bytes of a plain serial run."""
+    run_dir = tmp_path_factory.mktemp("serial")
+    _run(run_dir)
+    return _merged_spans(run_dir, run_dir / "merged")
+
+
+class TestReferenceShape:
+    def test_serial_span_population(self, serial_reference):
+        spans = [
+            json.loads(line) for line in serial_reference.decode().splitlines()
+        ]
+        kinds = {}
+        for span in spans:
+            kinds[span["kind"]] = kinds.get(span["kind"], 0) + 1
+        # 2 benchmarks x 3 parts x (task + 3 stages) + the sweep root.
+        assert kinds == {
+            "sweep": 1, "task": 6, "compile": 6, "tracegen": 6, "simulate": 6,
+        }
+        assert len({span["trace_id"] for span in spans}) == 1
+        assert len({span["span_id"] for span in spans}) == len(spans)
+
+
+class TestJobsIdentity:
+    def test_pool_sweep_is_bit_identical(self, tmp_path, serial_reference):
+        _run(tmp_path, jobs=2)
+        assert _merged_spans(tmp_path, tmp_path / "merged") == serial_reference
+
+
+class TestKillResumeIdentity:
+    def test_truncated_run_resumes_bit_identical(self, tmp_path, serial_reference):
+        """A sweep killed mid-append (torn journal line, torn span line)
+        re-emits reused rows' spans on resume; the merge folds the
+        duplicates back to the serial reference."""
+        _run(tmp_path)
+        journal_file = tmp_path / "journal.jsonl"
+        lines = journal_file.read_text().splitlines(keepends=True)
+        # SIGKILL simulation: lose the last complete record and leave a
+        # torn half-line behind, in the journal and the span sink both.
+        journal_file.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        with open(tmp_path / "spans.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"trace_id": "half-a-record')
+        resumed = _run(tmp_path)
+        assert resumed.failures == []
+        assert _merged_spans(tmp_path, tmp_path / "merged") == serial_reference
+
+    def test_resume_of_a_complete_run_changes_nothing(
+        self, tmp_path, serial_reference
+    ):
+        _run(tmp_path)
+        _run(tmp_path)  # all rows reused from the journal
+        assert _merged_spans(tmp_path, tmp_path / "merged") == serial_reference
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_worker(port, host, run_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker", "serve",
+            "--connect", f"127.0.0.1:{port}", "--host", host,
+            "--run-dir", str(run_dir), "--connect-retries", "120", "--quiet",
+        ],
+        env=env,
+    )
+
+
+class TestDistributedIdentity:
+    def test_two_host_sweep_merges_bit_identical(self, tmp_path, serial_reference):
+        """Two worker processes journal their own span shards
+        (spans-<host>.jsonl); the coordinator journals the full driver
+        set; ``merge_journals`` folds all three into the serial bytes."""
+        port = _free_port()
+        workers = [_spawn_worker(port, f"h{i}", tmp_path) for i in range(2)]
+        try:
+            result = _run(
+                tmp_path,
+                shard="coord",
+                jobs=2,
+                executor="distributed",
+                task_timeout=60.0,
+                dist_port=port,
+                dist_min_hosts=2,
+                dist_wait_s=60.0,
+            )
+        finally:
+            for proc in workers:
+                if proc.poll() is None:
+                    proc.kill()
+            for proc in workers:
+                proc.wait(timeout=10.0)
+        assert result.failures == []
+        # Workers journaled spans host-side before sending results.
+        worker_shards = sorted(tmp_path.glob("spans-h*.jsonl"))
+        assert [p.name for p in worker_shards] == [
+            "spans-h0.jsonl", "spans-h1.jsonl",
+        ]
+        assert all(p.stat().st_size > 0 for p in worker_shards)
+        assert _merged_spans(tmp_path, tmp_path / "merged") == serial_reference
+        # Wall-clock orchestration spans (dispatch, host leases) are
+        # real but land in the non-canonical sidecar.
+        _, wall = split_spans(load_run_spans(tmp_path / "merged"))
+        assert wall and all(not s.deterministic for s in wall)

@@ -67,3 +67,61 @@ class TestBench:
         )
         assert report.identical is True
         assert report.format().startswith("bench: 1 benchmarks")
+
+
+class TestHistory:
+    def _report(self):
+        from repro.perf.bench import BenchReport
+
+        return BenchReport(
+            benchmarks=["ora"],
+            trace_length=2000,
+            jobs=2,
+            timings_s={"serial": 1.5, "parallel": 0.9},
+            rows=[{"benchmark": "ora"}],
+            cache_stats={},
+            identical=True,
+            engine_timings_s={"reference": 1.0, "batched": 0.4},
+            engine_speedup=2.5,
+            timestamp="2026-08-08T00:00:00",
+            python="3.12.0",
+            cpu_count=8,
+        )
+
+    def test_history_record_is_a_compact_projection(self):
+        from repro.perf.bench import HISTORY_SCHEMA, history_record
+
+        record = history_record(self._report())
+        assert record["history_schema"] == HISTORY_SCHEMA
+        assert record["report_schema"] == SCHEMA_VERSION
+        assert record["benchmarks"] == ["ora"]
+        assert record["engine_speedup"] == 2.5
+        assert record["divergences"] == 0  # a count, not the full list
+        assert "rows" not in record  # the bulky part stays in the report
+
+    def test_append_accumulates_jsonl_lines(self, tmp_path):
+        from repro.perf.bench import append_bench_history
+
+        history = tmp_path / "BENCH_history.jsonl"
+        append_bench_history(history, self._report())
+        append_bench_history(history, self._report())
+        lines = history.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["identical"] is True for line in lines)
+
+    def test_run_bench_appends_next_to_the_report(self, tmp_path):
+        from repro.perf.bench import HISTORY_FILE, run_bench
+
+        output = tmp_path / "BENCH_table2.json"
+        run_bench(
+            benchmarks=["ora"],
+            quick=True,
+            jobs=2,
+            output=output,
+            cache_dir=tmp_path / "cache",
+            min_engine_speedup=0,
+        )
+        history = tmp_path / HISTORY_FILE
+        record = json.loads(history.read_text().splitlines()[-1])
+        assert record["benchmarks"] == ["ora"]
+        assert record["timings_s"]["serial"] > 0

@@ -332,3 +332,84 @@ class TestShardJournalFormat:
         record = json.loads(path.read_text().splitlines()[0])
         assert record["status"] == "completed"
         assert record["schema"] == 1
+
+
+def _write_spans(run_dir, shard, benchmark, *, wall=False):
+    from repro.obs.spans import Span, SpanWriter, part_task_spans
+
+    trace_id = "t" * 16
+    with SpanWriter(run_dir, shard=shard) as writer:
+        writer.write_all(
+            part_task_spans(
+                trace_id, benchmark, "single",
+                compile_units=1, trace_units=2, sim_units=3,
+            )
+        )
+        if wall:
+            writer.write(
+                Span(
+                    trace_id=trace_id, span_id=f"wall-{shard}".ljust(16, "0"),
+                    parent_id=None, kind="dispatch",
+                    name=f"{benchmark}:single", start_u=0, end_u=10, attrs={},
+                )
+            )
+
+
+class TestSpanMerge:
+    def test_overlapping_shard_spans_dedupe(self, tmp_path):
+        from repro.obs.spans import read_spans
+
+        run_dir = tmp_path / "run"
+        _write_row(run_dir, "a", "row:1", "fp1")
+        # Driver and worker both journaled compress's spans; ora's only
+        # landed on one shard.  Wall spans stay out of the canonical set.
+        _write_spans(run_dir, "a", "compress", wall=True)
+        _write_spans(run_dir, "b", "compress")
+        _write_spans(run_dir, "b", "ora")
+        merged_dir = tmp_path / "merged"
+        report = merge_journals([run_dir], merged_dir)
+        assert report.spans_merged == 8  # 2 tasks x 4 spans, duplicates folded
+        assert report.wall_spans_kept == 1
+        assert "spans:" in report.format()
+        det = read_spans(merged_dir / "spans.jsonl")
+        assert len(det) == 8
+        assert len({s.span_id for s in det}) == 8
+        assert all(s.deterministic for s in det)
+        wall = read_spans(merged_dir / "spans-wall.jsonl")
+        assert [s.kind for s in wall] == ["dispatch"]
+
+    def test_merged_spans_are_canonically_ordered(self, tmp_path):
+        from repro.obs.spans import canonical_lines, read_spans
+
+        run_dir = tmp_path / "run"
+        _write_row(run_dir, "a", "row:1", "fp1")
+        _write_spans(run_dir, "b", "ora")
+        _write_spans(run_dir, "a", "compress")
+        merged_dir = tmp_path / "merged"
+        merge_journals([run_dir], merged_dir)
+        spans = read_spans(merged_dir / "spans.jsonl")
+        want = canonical_lines(spans)
+        got = [
+            line for line in
+            (merged_dir / "spans.jsonl").read_text().splitlines() if line
+        ]
+        assert got == want
+
+    def test_dry_run_counts_spans_without_writing(self, tmp_path):
+        run_dir = tmp_path / "run"
+        _write_row(run_dir, "a", "row:1", "fp1")
+        _write_spans(run_dir, "a", "compress", wall=True)
+        out = tmp_path / "merged"
+        preview = merge_journals([run_dir], out, dry_run=True)
+        assert preview.spans_merged == 4
+        assert preview.wall_spans_kept == 1
+        assert not out.exists()
+
+    def test_spanless_merge_reports_nothing(self, tmp_path):
+        run_dir = tmp_path / "run"
+        _write_row(run_dir, "a", "row:1", "fp1")
+        merged_dir = tmp_path / "merged"
+        report = merge_journals([run_dir], merged_dir)
+        assert report.spans_merged == 0 and report.wall_spans_kept == 0
+        assert "spans:" not in report.format()
+        assert not (merged_dir / "spans.jsonl").exists()
